@@ -1,0 +1,73 @@
+//! **Ablation: rank→node mapping in coupled mode.** DLB can only move
+//! cores *within* a node. With the default block mapping, the fluid
+//! code fills node 0 and the particle code node 1 — DLB then has almost
+//! nothing to lend across codes. Round-robin mixes both codes on every
+//! node and unlocks the full cross-code lending the paper's coupled
+//! results rely on. This ablation quantifies that placement effect.
+
+use cfpd_bench::{emit, format_table, FigureContext, PARTICLES_LARGE, STEPS};
+use cfpd_perfmodel::{CoupledScenario, Mapping, PhaseSpec, Platform, Sensitivity};
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::Phase;
+
+fn main() {
+    let mut ctx = FigureContext::new();
+    let platform = Platform::mare_nostrum4();
+    let c = platform.total_cores();
+    let (f, p) = (c / 2, c / 2);
+
+    let fluid_phases = {
+        let colors = ctx.colors_per_rank(f);
+        let prof = ctx.profile(f);
+        vec![
+            PhaseSpec::fixed(
+                Phase::Assembly,
+                prof.assembly.clone(),
+                Sensitivity::Assembly { colors, tasks: 16 },
+            ),
+            PhaseSpec::fixed(Phase::Solver1, prof.solver1.clone(), Sensitivity::None),
+            PhaseSpec::fixed(Phase::Solver2, prof.solver2.clone(), Sensitivity::None),
+            PhaseSpec::fixed(Phase::Sgs, prof.sgs.clone(), Sensitivity::Sgs { colors, tasks: 16 }),
+        ]
+    };
+    let particle_phases = vec![PhaseSpec::per_step(
+        Phase::Particles,
+        ctx.particle_work(p, PARTICLES_LARGE),
+        Sensitivity::None,
+    )];
+
+    let mut rows = Vec::new();
+    for (mapping, name) in [(Mapping::Block, "block"), (Mapping::RoundRobin, "round-robin")] {
+        let mut times = Vec::new();
+        for dlb in [false, true] {
+            let t = CoupledScenario {
+                platform: platform.clone(),
+                fluid_phases: fluid_phases.clone(),
+                particle_phases: particle_phases.clone(),
+                steps: STEPS,
+                threads_per_rank: 1,
+                strategy: AssemblyStrategy::Multidep,
+                dlb,
+                mapping,
+            }
+            .run()
+            .total_time;
+            times.push(t);
+        }
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.4}", times[0]),
+            format!("{:.4}", times[1]),
+            format!("{:.2}x", times[0] / times[1]),
+        ]);
+    }
+    let out = format!(
+        "Ablation — rank placement for coupled {f}+{p} on MareNostrum4, 7e6-eq particles\n\n{}\n\
+         With block placement the two codes occupy different nodes and DLB\n\
+         cannot lend across them; mixing the codes per node (round-robin)\n\
+         recovers the full DLB benefit. Placement is a first-order decision\n\
+         for coupled runs — a practical corollary the paper leaves implicit.\n",
+        format_table(&["mapping", "t_orig [s]", "t_dlb [s]", "DLB speedup"], &rows)
+    );
+    emit("ablation_mapping", &out);
+}

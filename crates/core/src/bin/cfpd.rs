@@ -1,0 +1,184 @@
+//! `cfpd` — command-line front end of the reproduction.
+//!
+//! ```text
+//! cfpd mesh    [--generations N] [--vtk FILE]      mesh stats / export
+//! cfpd run     [--ranks N] [--threads N] [--dlb] [--coupled F P]
+//!              [--particles N] [--steps N] [--strategy S]
+//! cfpd profile [--ranks N] [--particles N]         Table-1-style profile
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (tiny flag set).
+
+use cfpd_core::{
+    measure_workload, run_simulation, ExecutionMode, PhaseCostModel, SimulationConfig,
+};
+use cfpd_mesh::{generate_airway, AirwaySpec};
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::render_timeline;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("help");
+    let flags = Flags::parse(&args[1.min(args.len())..]);
+    match cmd {
+        "mesh" => cmd_mesh(&flags),
+        "run" => cmd_run(&flags),
+        "profile" => cmd_profile(&flags),
+        _ => {
+            eprintln!(
+                "usage: cfpd <mesh|run|profile> [flags]\n\
+                 \n\
+                 mesh    --generations N  --vtk FILE\n\
+                 run     --ranks N  --threads N  --dlb  --coupled F P\n\
+                 \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
+                 profile --ranks N  --particles N"
+            );
+            std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// Minimal flag parser: `--name value` and boolean `--name`.
+struct Flags(Vec<String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Flags {
+        Flags(args.to_vec())
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn get2(&self, name: &str) -> Option<(&str, &str)> {
+        self.0.iter().position(|a| a == name).and_then(|i| {
+            match (self.0.get(i + 1), self.0.get(i + 2)) {
+                (Some(a), Some(b)) => Some((a.as_str(), b.as_str())),
+                _ => None,
+            }
+        })
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name).map(|v| v.parse().expect(name)).unwrap_or(default)
+    }
+}
+
+fn strategy_of(flags: &Flags) -> AssemblyStrategy {
+    match flags.get("--strategy").unwrap_or("multidep") {
+        "atomics" => AssemblyStrategy::Atomics,
+        "coloring" => AssemblyStrategy::Coloring,
+        "multidep" => AssemblyStrategy::Multidep,
+        "serial" => AssemblyStrategy::Serial,
+        other => {
+            eprintln!("unknown strategy {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_mesh(flags: &Flags) {
+    let spec = AirwaySpec {
+        generations: flags.usize_or("--generations", 3),
+        ..AirwaySpec::default()
+    };
+    let t0 = std::time::Instant::now();
+    let airway = generate_airway(&spec).expect("valid spec");
+    let s = airway.mesh.stats();
+    println!(
+        "generated in {:.2}s: {} branches, {} junctions",
+        t0.elapsed().as_secs_f64(),
+        airway.num_tubes,
+        airway.num_junctions
+    );
+    println!(
+        "elements: {} total = {} tets + {} pyramids + {} prisms",
+        s.num_elements, s.num_tets, s.num_pyramids, s.num_prisms
+    );
+    println!("nodes: {}, volume: {:.3e} m^3", s.num_nodes, s.total_volume);
+    println!(
+        "inlet: center {:?}, radius {:.4} m",
+        airway.inlet_center, airway.inlet_radius
+    );
+    if let Some(path) = flags.get("--vtk") {
+        cfpd_mesh::write_vtk(&airway.mesh, std::path::Path::new(path), &[], &[])
+            .expect("write VTK");
+        println!("wrote {path}");
+    }
+}
+
+fn cmd_run(flags: &Flags) {
+    let mode = match flags.get2("--coupled") {
+        Some((f, p)) => ExecutionMode::Coupled {
+            fluid: f.parse().expect("--coupled F"),
+            particles: p.parse().expect("--coupled P"),
+        },
+        None => ExecutionMode::Synchronous,
+    };
+    let config = SimulationConfig {
+        airway: AirwaySpec { generations: flags.usize_or("--generations", 1), ..AirwaySpec::small() },
+        num_particles: flags.usize_or("--particles", 500),
+        steps: flags.usize_or("--steps", 5),
+        strategy: strategy_of(flags),
+        mode,
+        ..Default::default()
+    };
+    let ranks = flags.usize_or("--ranks", 2);
+    let threads = flags.usize_or("--threads", 1);
+    let dlb = flags.has("--dlb");
+    println!(
+        "running {:?} on {} ranks x {} threads, strategy {:?}, DLB {}",
+        config.mode,
+        config.total_ranks(ranks),
+        threads,
+        config.strategy,
+        if dlb { "on" } else { "off" }
+    );
+    let r = run_simulation(&config, ranks, threads, dlb);
+    println!("{}", render_timeline(&r.trace, 120, 16));
+    println!("phase breakdown:");
+    for row in &r.breakdown {
+        println!(
+            "  {:<16} L = {:.2}  {:>5.1}%",
+            row.phase.name(),
+            row.load_balance,
+            row.pct_time
+        );
+    }
+    println!("particles: {:?}", r.census);
+    if let Some(stats) = r.dlb {
+        println!(
+            "dlb: {} lends / {} grants / {} reclaims",
+            stats.lends, stats.grants, stats.reclaims
+        );
+    }
+    println!("total: {:.3}s", r.total_time);
+}
+
+fn cmd_profile(flags: &Flags) {
+    let ranks = flags.usize_or("--ranks", 16);
+    let particles = flags.usize_or("--particles", 4000);
+    let spec = AirwaySpec { generations: flags.usize_or("--generations", 3), ..AirwaySpec::default() };
+    let airway = generate_airway(&spec).expect("valid spec");
+    let w = measure_workload(&airway, ranks, particles, 10, PhaseCostModel::default(), 42);
+    println!(
+        "workload profile over {} ranks ({} elements, {} particles):",
+        ranks,
+        airway.mesh.num_elements(),
+        particles
+    );
+    println!("  assembly  L{} = {:.3}", ranks, w.assembly_balance());
+    println!("  solvers   L{} = {:.3}", ranks, cfpd_trace::load_balance(&w.solver1));
+    println!("  sgs       L{} = {:.3}", ranks, cfpd_trace::load_balance(&w.sgs));
+    for (s, _) in w.particles_per_step.iter().enumerate().take(3) {
+        println!("  particles L{} = {:.4} (step {s})", ranks, w.particle_balance(s));
+    }
+}

@@ -1,0 +1,38 @@
+//! # cfpd-core — the CFPD simulation orchestrator (Alya substitute)
+//!
+//! Drives the full respiratory-system simulation of the paper: the
+//! fractional-step incompressible flow solve ([`fluid`], phases
+//! assembly / Solver1 / Solver2 / SGS) and the Lagrangian particle
+//! transport, across a virtual MPI cluster ([`simulation`]) in both
+//! execution modes of Fig. 3 (synchronous and coupled), with any of the
+//! three assembly strategies and with or without DLB.
+//!
+//! [`workload`] extracts per-rank work profiles from real executions
+//! for the virtual-platform model (`cfpd-perfmodel`) that regenerates
+//! the paper's figures at 96/192-rank scale.
+
+pub mod config;
+pub mod deposition;
+pub mod flowfield;
+pub mod fluid;
+pub mod halo;
+pub mod simulation;
+pub mod workload;
+
+pub use config::{ExecutionMode, SimulationConfig};
+pub use flowfield::potential_flow;
+pub use fluid::{BoundaryConditions, FluidSolver, FluidStepReport};
+pub use simulation::{run_simulation, SimulationResult};
+pub use deposition::{deposition_map, DepositionMap, GenerationRow};
+pub use halo::{assemble_and_solve_poisson, dist_cg, DistMatrix, HaloMap};
+pub use workload::{measure_workload, PhaseCostModel, WorkloadProfile};
+
+/// Convergence report of a distributed solve (mirrors
+/// [`cfpd_solver::SolveStats`], kept separate to avoid exposing the
+/// solver crate's struct in this crate's public API surface).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DistSolveStats {
+    pub iterations: usize,
+    pub residual: f64,
+    pub converged: bool,
+}

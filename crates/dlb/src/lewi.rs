@@ -1,0 +1,452 @@
+//! The LeWI ("Lend When Idle") policy of the DLB library (§3.2).
+//!
+//! Ranks co-located on a node register their worker pool and core
+//! allotment with a [`DlbNode`]. When a rank enters a blocking MPI call
+//! it *lends* its cores to the node; the node redistributes them to the
+//! busy ranks by growing their pools (`omp_set_num_threads`, here
+//! [`cfpd_runtime::ThreadPool::set_active`]). When the blocked rank
+//! returns, it *reclaims* its cores, shrinking borrowers back.
+
+use cfpd_runtime::ThreadPool;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What happened on the node, with a timestamp relative to node
+/// creation — this is the event stream rendered for the paper's Fig. 5.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DlbEventKind {
+    /// Rank blocked and lent `cores` to the node.
+    Lend { cores: usize },
+    /// Rank was granted `cores` extra cores (its pool grew to `active`).
+    Borrow { cores: usize, active: usize },
+    /// Rank unblocked and reclaimed its cores.
+    Reclaim { cores: usize },
+    /// Rank had borrowed cores revoked (its pool shrank to `active`).
+    Revoke { cores: usize, active: usize },
+}
+
+/// Timestamped DLB event.
+#[derive(Debug, Clone)]
+pub struct DlbEvent {
+    pub t: f64,
+    pub rank: usize,
+    pub kind: DlbEventKind,
+}
+
+struct RankSlot {
+    pool: Arc<ThreadPool>,
+    owned: usize,
+    borrowed: usize,
+    blocked: bool,
+}
+
+struct NodeState {
+    ranks: BTreeMap<usize, RankSlot>,
+    /// Cores currently lent to the node and not yet granted to anyone.
+    free_lent: usize,
+}
+
+/// Aggregated LeWI statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct DlbStats {
+    pub lends: usize,
+    pub reclaims: usize,
+    pub grants: usize,
+    pub revokes: usize,
+    pub cores_lent_total: usize,
+}
+
+/// Lending behaviour when a rank blocks in MPI (DLB's `LEWI_KEEP_ONE_CPU`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LendPolicy {
+    /// Keep one core busy-waiting in the MPI call (DLB's default).
+    #[default]
+    KeepOne,
+    /// Lend every core; the blocking call parks on a borrowed slice.
+    /// Maximizes lending at the cost of slower unblock detection.
+    LendAll,
+}
+
+/// How lent cores are distributed among busy ranks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GrantPolicy {
+    /// Round-robin one core at a time (even shares).
+    #[default]
+    Even,
+    /// Give everything to the busy rank with the fewest active cores
+    /// (helps a single dominant straggler fastest).
+    Neediest,
+}
+
+/// Per-node DLB arbiter implementing LeWI.
+pub struct DlbNode {
+    state: Mutex<NodeState>,
+    events: Mutex<Vec<DlbEvent>>,
+    stats: Mutex<DlbStats>,
+    epoch: Instant,
+    lend_policy: LendPolicy,
+    grant_policy: GrantPolicy,
+}
+
+impl DlbNode {
+    pub fn new() -> Arc<DlbNode> {
+        Self::with_policies(LendPolicy::default(), GrantPolicy::default())
+    }
+
+    /// Create a node arbiter with explicit policies.
+    pub fn with_policies(lend: LendPolicy, grant: GrantPolicy) -> Arc<DlbNode> {
+        Arc::new(DlbNode {
+            state: Mutex::new(NodeState { ranks: BTreeMap::new(), free_lent: 0 }),
+            events: Mutex::new(Vec::new()),
+            stats: Mutex::new(DlbStats::default()),
+            epoch: Instant::now(),
+            lend_policy: lend,
+            grant_policy: grant,
+        })
+    }
+
+    fn now(&self) -> f64 {
+        self.epoch.elapsed().as_secs_f64()
+    }
+
+    /// Register a rank living on this node with its pool and the number
+    /// of cores it owns. The pool is clamped to `owned` immediately.
+    pub fn register(&self, rank: usize, pool: Arc<ThreadPool>, owned: usize) {
+        assert!(owned >= 1, "a rank owns at least one core");
+        pool.set_active(owned);
+        let mut st = self.state.lock();
+        let prev = st
+            .ranks
+            .insert(rank, RankSlot { pool, owned, borrowed: 0, blocked: false });
+        assert!(prev.is_none(), "rank {rank} registered twice");
+    }
+
+    /// Rank entered a blocking MPI call: lend its cores and redistribute.
+    pub fn lend(&self, rank: usize) {
+        let mut st = self.state.lock();
+        let slot = match st.ranks.get_mut(&rank) {
+            Some(s) => s,
+            None => return, // unregistered rank (e.g. DLB off for it)
+        };
+        if slot.blocked {
+            return; // nested blocking (collective built on recv): ignore
+        }
+        slot.blocked = true;
+        // A blocked rank has no use for borrowed cores either.
+        let returned = slot.borrowed;
+        slot.borrowed = 0;
+        let keep = if self.lend_policy == LendPolicy::KeepOne { 1 } else { 0 };
+        let lent = slot.owned.saturating_sub(keep);
+        slot.pool.set_active(keep.max(1));
+        st.free_lent += lent + returned;
+        drop(st);
+        {
+            let mut ev = self.events.lock();
+            ev.push(DlbEvent { t: self.now(), rank, kind: DlbEventKind::Lend { cores: lent } });
+        }
+        {
+            let mut s = self.stats.lock();
+            s.lends += 1;
+            s.cores_lent_total += lent;
+        }
+        self.redistribute();
+    }
+
+    /// Rank left its blocking call: reclaim owned cores, revoking
+    /// borrowers if the free pool cannot cover them.
+    pub fn reclaim(&self, rank: usize) {
+        let mut st = self.state.lock();
+        let slot = match st.ranks.get_mut(&rank) {
+            Some(s) => s,
+            None => return,
+        };
+        if !slot.blocked {
+            return;
+        }
+        slot.blocked = false;
+        let keep = if self.lend_policy == LendPolicy::KeepOne { 1 } else { 0 };
+        let mut need = slot.owned.saturating_sub(keep);
+        slot.pool.set_active(slot.owned);
+        let from_free = need.min(st.free_lent);
+        st.free_lent -= from_free;
+        need -= from_free;
+        // Revoke from borrowers (largest borrowers first).
+        let mut revocations: Vec<(usize, usize, usize)> = Vec::new(); // (rank, revoke, new_active)
+        if need > 0 {
+            let mut borrowers: Vec<(usize, usize)> = st
+                .ranks
+                .iter()
+                .filter(|(_, s)| s.borrowed > 0)
+                .map(|(&r, s)| (r, s.borrowed))
+                .collect();
+            borrowers.sort_by_key(|&(r, b)| (std::cmp::Reverse(b), r));
+            for (r, _) in borrowers {
+                if need == 0 {
+                    break;
+                }
+                let s = st.ranks.get_mut(&r).unwrap();
+                let take = s.borrowed.min(need);
+                s.borrowed -= take;
+                need -= take;
+                let active = s.owned + s.borrowed;
+                s.pool.set_active(active);
+                revocations.push((r, take, active));
+            }
+        }
+        drop(st);
+        let t = self.now();
+        {
+            let mut ev = self.events.lock();
+            ev.push(DlbEvent {
+                t,
+                rank,
+                kind: DlbEventKind::Reclaim { cores: from_free + revocations.iter().map(|r| r.1).sum::<usize>() },
+            });
+            for (r, take, active) in &revocations {
+                ev.push(DlbEvent {
+                    t,
+                    rank: *r,
+                    kind: DlbEventKind::Revoke { cores: *take, active: *active },
+                });
+            }
+        }
+        let mut s = self.stats.lock();
+        s.reclaims += 1;
+        s.revokes += revocations.len();
+    }
+
+    /// Distribute the free lent cores evenly among non-blocked ranks.
+    fn redistribute(&self) {
+        let mut st = self.state.lock();
+        if st.free_lent == 0 {
+            return;
+        }
+        let busy: Vec<usize> = st
+            .ranks
+            .iter()
+            .filter(|(_, s)| !s.blocked)
+            .map(|(&r, _)| r)
+            .collect();
+        if busy.is_empty() {
+            return;
+        }
+        let mut grants: Vec<(usize, usize, usize)> = Vec::new();
+        let mut free = st.free_lent;
+        // One core at a time; the recipient is chosen by the grant
+        // policy. A rank saturated at its pool capacity absorbs nothing
+        // (extra threads would be clamped and the cores wasted).
+        let mut idx = 0usize;
+        let mut granted_to: BTreeMap<usize, usize> = BTreeMap::new();
+        while free > 0 {
+            let has_room = |s: &RankSlot| s.owned + s.borrowed < s.pool.max_workers();
+            let recipient = match self.grant_policy {
+                GrantPolicy::Even => {
+                    // Round-robin over busy ranks, skipping full pools.
+                    let mut pick = None;
+                    for k in 0..busy.len() {
+                        let r = busy[(idx + k) % busy.len()];
+                        if has_room(&st.ranks[&r]) {
+                            idx = (idx + k + 1) % busy.len();
+                            pick = Some(r);
+                            break;
+                        }
+                    }
+                    pick
+                }
+                GrantPolicy::Neediest => busy
+                    .iter()
+                    .copied()
+                    .filter(|r| has_room(&st.ranks[r]))
+                    .min_by_key(|r| {
+                        let s = &st.ranks[r];
+                        (s.owned + s.borrowed, *r)
+                    }),
+            };
+            let Some(r) = recipient else { break };
+            let slot = st.ranks.get_mut(&r).unwrap();
+            slot.borrowed += 1;
+            *granted_to.entry(r).or_default() += 1;
+            free -= 1;
+        }
+        st.free_lent = free;
+        for (&r, &n) in &granted_to {
+            let s = &st.ranks[&r];
+            let active = s.owned + s.borrowed;
+            s.pool.set_active(active);
+            grants.push((r, n, active));
+        }
+        drop(st);
+        let t = self.now();
+        let mut ev = self.events.lock();
+        for (r, n, active) in &grants {
+            ev.push(DlbEvent { t, rank: *r, kind: DlbEventKind::Borrow { cores: *n, active: *active } });
+        }
+        drop(ev);
+        self.stats.lock().grants += grants.len();
+    }
+
+    /// Snapshot of the event log.
+    pub fn events(&self) -> Vec<DlbEvent> {
+        self.events.lock().clone()
+    }
+
+    /// Aggregated statistics.
+    pub fn stats(&self) -> DlbStats {
+        *self.stats.lock()
+    }
+
+    /// Current active executor count of a registered rank's pool.
+    pub fn active_of(&self, rank: usize) -> Option<usize> {
+        self.state.lock().ranks.get(&rank).map(|s| s.pool.active())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(max: usize) -> Arc<ThreadPool> {
+        Arc::new(ThreadPool::new(max))
+    }
+
+    #[test]
+    fn lend_grows_the_busy_rank() {
+        let node = DlbNode::new();
+        node.register(0, pool(4), 2);
+        node.register(1, pool(4), 2);
+        assert_eq!(node.active_of(0), Some(2));
+        node.lend(0);
+        // Rank 0 keeps 1 core; its other core goes to rank 1.
+        assert_eq!(node.active_of(0), Some(1));
+        assert_eq!(node.active_of(1), Some(3));
+        node.reclaim(0);
+        assert_eq!(node.active_of(0), Some(2));
+        assert_eq!(node.active_of(1), Some(2));
+    }
+
+    #[test]
+    fn redistribution_is_even() {
+        let node = DlbNode::new();
+        node.register(0, pool(8), 4);
+        node.register(1, pool(8), 2);
+        node.register(2, pool(8), 2);
+        node.lend(0); // lends 3 (keeps 1)
+        let a1 = node.active_of(1).unwrap();
+        let a2 = node.active_of(2).unwrap();
+        assert_eq!(a1 + a2, 2 + 2 + 3);
+        assert!((a1 as i64 - a2 as i64).abs() <= 1, "{a1} vs {a2}");
+    }
+
+    #[test]
+    fn reclaim_revokes_from_borrowers() {
+        let node = DlbNode::new();
+        node.register(0, pool(8), 4);
+        node.register(1, pool(8), 4);
+        node.lend(0);
+        assert_eq!(node.active_of(1), Some(7));
+        node.reclaim(0);
+        assert_eq!(node.active_of(0), Some(4));
+        assert_eq!(node.active_of(1), Some(4));
+        let stats = node.stats();
+        assert_eq!(stats.lends, 1);
+        assert_eq!(stats.reclaims, 1);
+        assert!(stats.revokes >= 1);
+    }
+
+    #[test]
+    fn blocked_borrower_returns_loans() {
+        let node = DlbNode::new();
+        node.register(0, pool(8), 3);
+        node.register(1, pool(8), 3);
+        node.register(2, pool(8), 2);
+        node.lend(0); // rank1/rank2 borrow rank0's 2 cores
+        let borrowed_total = node.active_of(1).unwrap() + node.active_of(2).unwrap();
+        assert_eq!(borrowed_total, 3 + 2 + 2);
+        node.lend(1); // rank 1 blocks too: its owned + borrowed go to rank 2
+        // Rank 2 can absorb up to its pool max (8).
+        let a2 = node.active_of(2).unwrap();
+        assert!(a2 > 2, "rank 2 should have grown, got {a2}");
+        node.reclaim(0);
+        node.reclaim(1);
+        assert_eq!(node.active_of(0), Some(3));
+        assert_eq!(node.active_of(1), Some(3));
+        assert_eq!(node.active_of(2), Some(2));
+    }
+
+    #[test]
+    fn grants_capped_by_pool_capacity() {
+        let node = DlbNode::new();
+        node.register(0, pool(8), 6);
+        node.register(1, pool(4), 2); // can absorb at most 2 extra
+        node.lend(0); // lends 5
+        assert_eq!(node.active_of(1), Some(4), "cap at pool max_workers");
+    }
+
+    #[test]
+    fn double_lend_is_idempotent() {
+        let node = DlbNode::new();
+        node.register(0, pool(4), 2);
+        node.register(1, pool(4), 2);
+        node.lend(0);
+        node.lend(0); // e.g. nested blocking calls
+        assert_eq!(node.active_of(1), Some(3));
+        node.reclaim(0);
+        assert_eq!(node.active_of(1), Some(2));
+        node.reclaim(0); // idempotent
+        assert_eq!(node.active_of(0), Some(2));
+    }
+
+    #[test]
+    fn unregistered_rank_ignored() {
+        let node = DlbNode::new();
+        node.register(0, pool(4), 2);
+        node.lend(99); // no-op
+        node.reclaim(99);
+        assert_eq!(node.active_of(0), Some(2));
+    }
+
+    #[test]
+    fn lend_all_policy_lends_every_core() {
+        let node = DlbNode::with_policies(LendPolicy::LendAll, GrantPolicy::Even);
+        node.register(0, pool(4), 2);
+        node.register(1, pool(4), 2);
+        node.lend(0);
+        // Both of rank 0's cores go to rank 1 (pool floor keeps 1 thread
+        // alive for the blocked rank's own pool).
+        assert_eq!(node.active_of(1), Some(4));
+        node.reclaim(0);
+        assert_eq!(node.active_of(0), Some(2));
+        assert_eq!(node.active_of(1), Some(2));
+    }
+
+    #[test]
+    fn neediest_policy_feeds_the_smallest_pool() {
+        let node = DlbNode::with_policies(LendPolicy::KeepOne, GrantPolicy::Neediest);
+        node.register(0, pool(8), 5);
+        node.register(1, pool(8), 4);
+        node.register(2, pool(8), 1); // the straggler with fewest cores
+        node.lend(0); // lends 4
+        // All 4 go to rank 2 first until it catches up with rank 1.
+        let a1 = node.active_of(1).unwrap();
+        let a2 = node.active_of(2).unwrap();
+        assert!(a2 > 1, "straggler must be fed first: {a2}");
+        assert!(a2 >= a1 - 1, "neediest should roughly equalize: {a1} vs {a2}");
+        node.reclaim(0);
+        assert_eq!(node.active_of(2), Some(1));
+    }
+
+    #[test]
+    fn event_log_records_lend_borrow_reclaim() {
+        let node = DlbNode::new();
+        node.register(0, pool(4), 2);
+        node.register(1, pool(4), 2);
+        node.lend(0);
+        node.reclaim(0);
+        let evs = node.events();
+        assert!(matches!(evs[0].kind, DlbEventKind::Lend { cores: 1 }));
+        assert!(evs.iter().any(|e| matches!(e.kind, DlbEventKind::Borrow { .. })));
+        assert!(evs.iter().any(|e| matches!(e.kind, DlbEventKind::Reclaim { .. })));
+    }
+}

@@ -1,0 +1,17 @@
+//! # cfpd-dlb — Dynamic Load Balancing (LeWI) from scratch
+//!
+//! Reproduction of BSC's DLB library as used in the paper (§3.2): a
+//! runtime agent, *transparent to the application*, that reacts to load
+//! imbalance by moving cores between MPI processes co-located on a
+//! node. A rank entering a blocking MPI call lends its cores
+//! ([`lewi::DlbNode::lend`]); busy ranks' worker pools grow; on return
+//! the cores are reclaimed. Attachment is via the PMPI-style hooks of
+//! `cfpd-simmpi` ([`cluster::DlbCluster`] implements
+//! [`cfpd_simmpi::MpiHooks`]), so the simulation code never mentions
+//! DLB — the same "no source changes" property the paper highlights.
+
+pub mod cluster;
+pub mod lewi;
+
+pub use cluster::DlbCluster;
+pub use lewi::{DlbEvent, DlbEventKind, DlbNode, DlbStats, GrantPolicy, LendPolicy};

@@ -1,0 +1,167 @@
+//! Element types of the hybrid mesh.
+//!
+//! The paper's respiratory mesh is hybrid: *prisms* resolving the
+//! boundary layer, *tetrahedra* in the core flow, and *pyramids*
+//! transitioning from prism quadrilateral faces to tetrahedra (§2.1).
+//! All three first-order types are supported here.
+
+/// Kind of a volume element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ElementKind {
+    /// 4-node linear tetrahedron.
+    Tet4,
+    /// 5-node pyramid (quadrilateral base, apex last).
+    Pyr5,
+    /// 6-node triangular prism (bottom triangle 0-1-2, top triangle 3-4-5,
+    /// node `i+3` above node `i`).
+    Pri6,
+}
+
+impl ElementKind {
+    /// Number of nodes of this element type.
+    #[inline]
+    pub const fn num_nodes(self) -> usize {
+        match self {
+            ElementKind::Tet4 => 4,
+            ElementKind::Pyr5 => 5,
+            ElementKind::Pri6 => 6,
+        }
+    }
+
+    /// Number of faces (triangles + quadrilaterals).
+    #[inline]
+    pub const fn num_faces(self) -> usize {
+        match self {
+            ElementKind::Tet4 => 4,
+            ElementKind::Pyr5 => 5,
+            ElementKind::Pri6 => 5,
+        }
+    }
+
+    /// Number of quadrature points used by the FEM kernels for this type.
+    /// Heterogeneous quadrature cost is one of the organic sources of the
+    /// assembly-phase load imbalance studied in the paper (Table 1).
+    #[inline]
+    pub const fn num_quad_points(self) -> usize {
+        match self {
+            ElementKind::Tet4 => 4,
+            // Collapsed-hex 2x2x2 Gauss rule (the degenerate trilinear
+            // map's Jacobian absorbs the collapse factor).
+            ElementKind::Pyr5 => 8,
+            ElementKind::Pri6 => 6,
+        }
+    }
+
+    /// Relative computational weight of assembling one element of this
+    /// kind (used by cost-aware partitioning and the performance model).
+    /// Proportional to `num_quad_points * num_nodes^2` work in the local
+    /// matrix computation, normalized so Tet4 == 1.
+    #[inline]
+    pub fn cost_weight(self) -> f64 {
+        let w = (self.num_quad_points() * self.num_nodes() * self.num_nodes()) as f64;
+        let tet = (4 * 4 * 4) as f64;
+        w / tet
+    }
+
+    /// Local faces as node-index lists (triangles have 3 entries, quads 4).
+    /// Orientation: outward for a positively oriented element.
+    pub fn faces(self) -> &'static [&'static [usize]] {
+        match self {
+            ElementKind::Tet4 => &[&[0, 2, 1], &[0, 1, 3], &[1, 2, 3], &[2, 0, 3]],
+            ElementKind::Pyr5 => &[
+                &[0, 3, 2, 1], // base quad
+                &[0, 1, 4],
+                &[1, 2, 4],
+                &[2, 3, 4],
+                &[3, 0, 4],
+            ],
+            ElementKind::Pri6 => &[
+                &[0, 2, 1],       // bottom triangle
+                &[3, 4, 5],       // top triangle
+                &[0, 1, 4, 3],    // lateral quads
+                &[1, 2, 5, 4],
+                &[2, 0, 3, 5],
+            ],
+        }
+    }
+
+    /// Short display label.
+    pub const fn label(self) -> &'static str {
+        match self {
+            ElementKind::Tet4 => "tet",
+            ElementKind::Pyr5 => "pyr",
+            ElementKind::Pri6 => "pri",
+        }
+    }
+}
+
+/// Boundary classification of an exterior mesh face, used by particle
+/// tracking to decide between deposition (airway wall) and escape
+/// (outlet at the deepest branch generation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoundaryKind {
+    /// Airway wall: particles reaching it deposit.
+    Wall,
+    /// Inlet disc (nasal/mouth opening): particles are injected here.
+    Inlet,
+    /// Distal outlets (7th-generation branch ends): particles escape.
+    Outlet,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_and_face_counts() {
+        assert_eq!(ElementKind::Tet4.num_nodes(), 4);
+        assert_eq!(ElementKind::Pyr5.num_nodes(), 5);
+        assert_eq!(ElementKind::Pri6.num_nodes(), 6);
+        assert_eq!(ElementKind::Tet4.faces().len(), 4);
+        assert_eq!(ElementKind::Pyr5.faces().len(), 5);
+        assert_eq!(ElementKind::Pri6.faces().len(), 5);
+    }
+
+    #[test]
+    fn face_node_indices_in_range() {
+        for kind in [ElementKind::Tet4, ElementKind::Pyr5, ElementKind::Pri6] {
+            for face in kind.faces() {
+                assert!(face.len() == 3 || face.len() == 4);
+                for &i in face.iter() {
+                    assert!(i < kind.num_nodes());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_edge_shared_by_exactly_two_faces() {
+        // Closed polyhedron invariant: each edge appears once in each
+        // direction across the face set.
+        for kind in [ElementKind::Tet4, ElementKind::Pyr5, ElementKind::Pri6] {
+            let mut edges = std::collections::HashMap::new();
+            for face in kind.faces() {
+                for k in 0..face.len() {
+                    let a = face[k];
+                    let b = face[(k + 1) % face.len()];
+                    *edges.entry((a, b)).or_insert(0) += 1;
+                }
+            }
+            for ((a, b), n) in &edges {
+                assert_eq!(*n, 1, "{kind:?}: directed edge ({a},{b}) seen {n} times");
+                assert_eq!(
+                    edges.get(&(*b, *a)),
+                    Some(&1),
+                    "{kind:?}: edge ({a},{b}) missing reverse"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_weights_ordered_by_richness() {
+        assert!((ElementKind::Tet4.cost_weight() - 1.0).abs() < 1e-12);
+        assert!(ElementKind::Pyr5.cost_weight() > ElementKind::Tet4.cost_weight());
+        assert!(ElementKind::Pri6.cost_weight() > ElementKind::Pyr5.cost_weight());
+    }
+}

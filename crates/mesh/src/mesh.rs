@@ -1,0 +1,381 @@
+//! The hybrid unstructured mesh container and its derived topology.
+//!
+//! Connectivity is stored in CSR form (mixed element arities), the same
+//! layout a production FEM code like Alya uses. Derived maps — node→
+//! element, element↔element adjacency through shared nodes (the source
+//! of the assembly race condition, §3.1), and face neighbors (used by
+//! the particle element-walk) — are computed on demand.
+
+use crate::element::{BoundaryKind, ElementKind};
+use crate::geom::Vec3;
+use std::collections::HashMap;
+
+/// An unstructured hybrid mesh (tetrahedra, pyramids, prisms).
+#[derive(Debug, Clone, Default)]
+pub struct Mesh {
+    /// Node coordinates.
+    pub coords: Vec<Vec3>,
+    /// Element kinds, one per element.
+    pub kinds: Vec<ElementKind>,
+    /// CSR offsets into `conn`; element `e` owns `conn[offsets[e]..offsets[e+1]]`.
+    pub offsets: Vec<u32>,
+    /// Flattened element→node connectivity.
+    pub conn: Vec<u32>,
+    /// Exterior boundary faces: (element, local face index, kind).
+    pub boundary: Vec<(u32, u8, BoundaryKind)>,
+}
+
+/// CSR adjacency structure (used for node→element and element↔element maps).
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    pub offsets: Vec<u32>,
+    pub targets: Vec<u32>,
+}
+
+impl Csr {
+    /// Neighbors of entry `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[u32] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-element face neighbor table: `neighbors[e][f]` is `Some(e')` if
+/// local face `f` of element `e` is shared with element `e'`, `None` if
+/// it is an exterior face. Faces are indexed per [`ElementKind::faces`].
+#[derive(Debug, Clone)]
+pub struct FaceNeighbors {
+    offsets: Vec<u32>,
+    entries: Vec<Option<u32>>,
+}
+
+impl FaceNeighbors {
+    /// Neighbor across local face `f` of element `e`.
+    #[inline]
+    pub fn neighbor(&self, e: usize, f: usize) -> Option<u32> {
+        self.entries[self.offsets[e] as usize + f]
+    }
+
+    /// All face-neighbor slots of element `e`.
+    #[inline]
+    pub fn faces(&self, e: usize) -> &[Option<u32>] {
+        &self.entries[self.offsets[e] as usize..self.offsets[e + 1] as usize]
+    }
+}
+
+/// Aggregate mesh statistics (element mix, sizes) for reporting.
+#[derive(Debug, Clone, Default)]
+pub struct MeshStats {
+    pub num_nodes: usize,
+    pub num_elements: usize,
+    pub num_tets: usize,
+    pub num_pyramids: usize,
+    pub num_prisms: usize,
+    pub total_volume: f64,
+    pub min_volume: f64,
+    pub max_volume: f64,
+}
+
+impl Mesh {
+    /// Number of elements.
+    #[inline]
+    pub fn num_elements(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// Nodes of element `e`.
+    #[inline]
+    pub fn elem_nodes(&self, e: usize) -> &[u32] {
+        &self.conn[self.offsets[e] as usize..self.offsets[e + 1] as usize]
+    }
+
+    /// Centroid of element `e`.
+    pub fn centroid(&self, e: usize) -> Vec3 {
+        let nodes = self.elem_nodes(e);
+        let mut c = Vec3::ZERO;
+        for &n in nodes {
+            c += self.coords[n as usize];
+        }
+        c / nodes.len() as f64
+    }
+
+    /// Signed volume of element `e`, computed by decomposing the element
+    /// into tetrahedra fanned from its first node (exact for planar-faced
+    /// convex elements; a very good approximation for the mildly warped
+    /// quad faces the generator produces).
+    pub fn volume(&self, e: usize) -> f64 {
+        let nodes = self.elem_nodes(e);
+        let kind = self.kinds[e];
+        let p = |i: usize| self.coords[nodes[i] as usize];
+        let tet_vol = |a: Vec3, b: Vec3, c: Vec3, d: Vec3| (b - a).cross(c - a).dot(d - a) / 6.0;
+        match kind {
+            ElementKind::Tet4 => tet_vol(p(0), p(1), p(2), p(3)),
+            ElementKind::Pyr5 => {
+                // Split base quad 0-1-2-3 along diagonal 0-2.
+                tet_vol(p(0), p(1), p(2), p(4)) + tet_vol(p(0), p(2), p(3), p(4))
+            }
+            ElementKind::Pri6 => {
+                // Standard 3-tet split (any valid split gives the volume).
+                tet_vol(p(0), p(1), p(2), p(3))
+                    + tet_vol(p(1), p(2), p(3), p(4))
+                    + tet_vol(p(2), p(3), p(4), p(5))
+            }
+        }
+    }
+
+    /// Element mix and volume statistics.
+    pub fn stats(&self) -> MeshStats {
+        let mut s = MeshStats {
+            num_nodes: self.num_nodes(),
+            num_elements: self.num_elements(),
+            min_volume: f64::INFINITY,
+            max_volume: f64::NEG_INFINITY,
+            ..Default::default()
+        };
+        for e in 0..self.num_elements() {
+            match self.kinds[e] {
+                ElementKind::Tet4 => s.num_tets += 1,
+                ElementKind::Pyr5 => s.num_pyramids += 1,
+                ElementKind::Pri6 => s.num_prisms += 1,
+            }
+            let v = self.volume(e);
+            s.total_volume += v;
+            s.min_volume = s.min_volume.min(v);
+            s.max_volume = s.max_volume.max(v);
+        }
+        if self.num_elements() == 0 {
+            s.min_volume = 0.0;
+            s.max_volume = 0.0;
+        }
+        s
+    }
+
+    /// Node → incident elements map.
+    pub fn node_to_elements(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut counts = vec![0u32; n + 1];
+        for &v in &self.conn {
+            counts[v as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let offsets = counts.clone();
+        let mut targets = vec![0u32; self.conn.len()];
+        let mut cursor = offsets.clone();
+        for e in 0..self.num_elements() {
+            for &v in self.elem_nodes(e) {
+                let c = &mut cursor[v as usize];
+                targets[*c as usize] = e as u32;
+                *c += 1;
+            }
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Element ↔ element adjacency through **shared nodes** (deduplicated,
+    /// no self-loops). Two elements sharing at least one node may race
+    /// when scatter-adding into the global matrix — this graph drives
+    /// mesh coloring and the multidependences task incompatibilities.
+    pub fn element_adjacency(&self, node_to_elem: &Csr) -> Csr {
+        let ne = self.num_elements();
+        let mut offsets = Vec::with_capacity(ne + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        // `mark[e2] == e as u32 + 1` means e2 already recorded for e.
+        let mut mark = vec![0u32; ne];
+        for e in 0..ne {
+            let stamp = e as u32 + 1;
+            for &v in self.elem_nodes(e) {
+                for &e2 in node_to_elem.row(v as usize) {
+                    if e2 as usize != e && mark[e2 as usize] != stamp {
+                        mark[e2 as usize] = stamp;
+                        targets.push(e2);
+                    }
+                }
+            }
+            // Sort each row for deterministic downstream iteration.
+            let start = *offsets.last().unwrap() as usize;
+            targets[start..].sort_unstable();
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Face-neighbor table used by the particle element-walk locator.
+    /// Also validates mesh conformity: every interior face must be shared
+    /// by exactly two elements.
+    pub fn face_neighbors(&self) -> FaceNeighbors {
+        // Key: face nodes sorted ascending, padded with u32::MAX for
+        // triangles so quads and triangles never collide.
+        let mut map: HashMap<[u32; 4], (u32, u8)> =
+            HashMap::with_capacity(self.num_elements() * 4);
+        let mut offsets = Vec::with_capacity(self.num_elements() + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for e in 0..self.num_elements() {
+            total += self.kinds[e].num_faces() as u32;
+            offsets.push(total);
+        }
+        let mut entries: Vec<Option<u32>> = vec![None; total as usize];
+        for e in 0..self.num_elements() {
+            let nodes = self.elem_nodes(e);
+            for (f, face) in self.kinds[e].faces().iter().enumerate() {
+                let mut key = [u32::MAX; 4];
+                for (k, &li) in face.iter().enumerate() {
+                    key[k] = nodes[li];
+                }
+                key[..face.len()].sort_unstable();
+                match map.remove(&key) {
+                    Some((e2, f2)) => {
+                        entries[offsets[e] as usize + f] = Some(e2);
+                        entries[offsets[e2 as usize] as usize + f2 as usize] = Some(e as u32);
+                    }
+                    None => {
+                        map.insert(key, (e as u32, f as u8));
+                    }
+                }
+            }
+        }
+        // Whatever is left in `map` are exterior faces; they stay None.
+        FaceNeighbors { offsets, entries }
+    }
+
+    /// Boundary lookup: map from (element, local face) to boundary kind.
+    pub fn boundary_map(&self) -> HashMap<(u32, u8), BoundaryKind> {
+        self.boundary.iter().map(|&(e, f, k)| ((e, f), k)).collect()
+    }
+
+    /// Check all element volumes are strictly positive; returns offending
+    /// element indices (empty means valid).
+    pub fn negative_volume_elements(&self) -> Vec<usize> {
+        (0..self.num_elements())
+            .filter(|&e| self.volume(e) <= 0.0)
+            .collect()
+    }
+
+    /// Per-element assembly cost weights (quadrature-richness based).
+    pub fn cost_weights(&self) -> Vec<f64> {
+        self.kinds.iter().map(|k| k.cost_weight()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MeshBuilder;
+
+    /// Two tets sharing a face: a minimal conforming mesh.
+    fn two_tets() -> Mesh {
+        let mut b = MeshBuilder::new();
+        let n0 = b.add_node(Vec3::new(0.0, 0.0, 0.0));
+        let n1 = b.add_node(Vec3::new(1.0, 0.0, 0.0));
+        let n2 = b.add_node(Vec3::new(0.0, 1.0, 0.0));
+        let n3 = b.add_node(Vec3::new(0.0, 0.0, 1.0));
+        let n4 = b.add_node(Vec3::new(1.0, 1.0, 1.0));
+        b.add_tet([n0, n1, n2, n3]);
+        b.add_tet([n1, n2, n3, n4]);
+        b.finish()
+    }
+
+    #[test]
+    fn volumes_positive_and_correct() {
+        let m = two_tets();
+        assert!((m.volume(0) - 1.0 / 6.0).abs() < 1e-12);
+        assert!(m.volume(1) > 0.0);
+        assert!(m.negative_volume_elements().is_empty());
+    }
+
+    #[test]
+    fn node_to_elements_inverts_connectivity() {
+        let m = two_tets();
+        let n2e = m.node_to_elements();
+        assert_eq!(n2e.row(0), &[0]); // node 0 only in tet 0
+        assert_eq!(n2e.row(4), &[1]); // node 4 only in tet 1
+        assert_eq!(n2e.row(1), &[0, 1]); // shared
+    }
+
+    #[test]
+    fn element_adjacency_by_shared_node() {
+        let m = two_tets();
+        let n2e = m.node_to_elements();
+        let adj = m.element_adjacency(&n2e);
+        assert_eq!(adj.row(0), &[1]);
+        assert_eq!(adj.row(1), &[0]);
+    }
+
+    #[test]
+    fn face_neighbors_finds_shared_face() {
+        let m = two_tets();
+        let fns = m.face_neighbors();
+        let shared0: Vec<_> = fns.faces(0).iter().filter(|n| n.is_some()).collect();
+        assert_eq!(shared0.len(), 1);
+        assert_eq!(fns.faces(0).iter().flatten().next(), Some(&1));
+        assert_eq!(fns.faces(1).iter().flatten().next(), Some(&0));
+    }
+
+    #[test]
+    fn pyramid_volume() {
+        // Unit-square base, apex at height 1: V = 1/3.
+        let mut b = MeshBuilder::new();
+        let n: Vec<u32> = [
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (1.0, 1.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.5, 0.5, 1.0),
+        ]
+        .iter()
+        .map(|&(x, y, z)| b.add_node(Vec3::new(x, y, z)))
+        .collect();
+        b.add_pyramid([n[0], n[1], n[2], n[3], n[4]]);
+        let m = b.finish();
+        assert!((m.volume(0) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prism_volume() {
+        // Right triangular prism: base area 1/2, height 2 => V = 1.
+        let mut b = MeshBuilder::new();
+        let pts = [
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (0.0, 1.0, 0.0),
+            (0.0, 0.0, 2.0),
+            (1.0, 0.0, 2.0),
+            (0.0, 1.0, 2.0),
+        ];
+        let n: Vec<u32> = pts.iter().map(|&(x, y, z)| b.add_node(Vec3::new(x, y, z))).collect();
+        b.add_prism([n[0], n[1], n[2], n[3], n[4], n[5]]);
+        let m = b.finish();
+        assert!((m.volume(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_counts_mix() {
+        let m = two_tets();
+        let s = m.stats();
+        assert_eq!(s.num_elements, 2);
+        assert_eq!(s.num_tets, 2);
+        assert_eq!(s.num_pyramids, 0);
+        assert_eq!(s.num_prisms, 0);
+        assert!(s.total_volume > 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Mesh quality metrics: aspect ratio, edge-length ratios and a
+//! quality histogram — what a meshing engineer inspects before trusting
+//! a CFPD run (the paper's §2.1 emphasizes boundary-layer resolution,
+//! which necessarily produces anisotropic prisms; these metrics
+//! quantify that).
+
+use crate::mesh::Mesh;
+
+/// Quality measures of one element.
+#[derive(Debug, Clone, Copy)]
+pub struct ElementQuality {
+    /// Longest edge / shortest edge.
+    pub edge_ratio: f64,
+    /// Normalized shape quality in (0, 1]: `c · V / l_max³` scaled so a
+    /// regular element ≈ 1 (larger is better, degenerate → 0).
+    pub shape: f64,
+}
+
+/// Aggregate quality statistics.
+#[derive(Debug, Clone)]
+pub struct QualityReport {
+    pub min_shape: f64,
+    pub mean_shape: f64,
+    pub max_edge_ratio: f64,
+    /// Histogram of shape quality in 10 equal bins over [0, 1].
+    pub shape_histogram: [usize; 10],
+}
+
+/// Quality of element `e`.
+pub fn element_quality(mesh: &Mesh, e: usize) -> ElementQuality {
+    let nodes = mesh.elem_nodes(e);
+    let mut lmin = f64::INFINITY;
+    let mut lmax = 0.0f64;
+    for i in 0..nodes.len() {
+        for j in i + 1..nodes.len() {
+            let d = mesh.coords[nodes[i] as usize].dist(mesh.coords[nodes[j] as usize]);
+            lmin = lmin.min(d);
+            lmax = lmax.max(d);
+        }
+    }
+    let v = mesh.volume(e).abs();
+    // Normalization constants chosen so the regular element of each
+    // family scores exactly 1.0:
+    //   regular tet:   V = l³/(6√2)         → c = 6√2
+    //   prism (equilateral tri × same h):    V = (√3/4)l³, lmax = l√2 ... use c = 8/(3^0.5)·...
+    // For simplicity use the tet constant for all families and clamp;
+    // relative comparisons (histograms, minima) are what matter.
+    let c = 6.0 * std::f64::consts::SQRT_2;
+    let shape = (c * v / lmax.powi(3)).min(1.0);
+    ElementQuality { edge_ratio: lmax / lmin.max(1e-300), shape }
+}
+
+/// Whole-mesh quality report.
+pub fn quality_report(mesh: &Mesh) -> QualityReport {
+    let ne = mesh.num_elements().max(1);
+    let mut min_shape = f64::INFINITY;
+    let mut sum_shape = 0.0;
+    let mut max_edge_ratio = 0.0f64;
+    let mut hist = [0usize; 10];
+    for e in 0..mesh.num_elements() {
+        let q = element_quality(mesh, e);
+        min_shape = min_shape.min(q.shape);
+        sum_shape += q.shape;
+        max_edge_ratio = max_edge_ratio.max(q.edge_ratio);
+        let bin = ((q.shape * 10.0) as usize).min(9);
+        hist[bin] += 1;
+    }
+    if mesh.num_elements() == 0 {
+        min_shape = 0.0;
+    }
+    QualityReport {
+        min_shape,
+        mean_shape: sum_shape / ne as f64,
+        max_edge_ratio,
+        shape_histogram: hist,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::MeshBuilder;
+    use crate::geom::Vec3;
+
+    #[test]
+    fn regular_tet_scores_one() {
+        let mut b = MeshBuilder::new();
+        // Regular tetrahedron with unit edge.
+        let n0 = b.add_node(Vec3::new(0.0, 0.0, 0.0));
+        let n1 = b.add_node(Vec3::new(1.0, 0.0, 0.0));
+        let n2 = b.add_node(Vec3::new(0.5, 3f64.sqrt() / 2.0, 0.0));
+        let n3 = b.add_node(Vec3::new(0.5, 3f64.sqrt() / 6.0, (2f64 / 3.0).sqrt()));
+        b.add_tet([n0, n1, n2, n3]);
+        let m = b.finish();
+        let q = element_quality(&m, 0);
+        assert!((q.shape - 1.0).abs() < 1e-9, "shape {}", q.shape);
+        assert!((q.edge_ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sliver_scores_poorly() {
+        let mut b = MeshBuilder::new();
+        let n0 = b.add_node(Vec3::new(0.0, 0.0, 0.0));
+        let n1 = b.add_node(Vec3::new(1.0, 0.0, 0.0));
+        let n2 = b.add_node(Vec3::new(0.0, 1.0, 0.0));
+        let n3 = b.add_node(Vec3::new(0.5, 0.5, 0.001)); // nearly coplanar
+        b.add_tet([n0, n1, n2, n3]);
+        let m = b.finish();
+        let q = element_quality(&m, 0);
+        assert!(q.shape < 0.05, "sliver shape {}", q.shape);
+    }
+
+    #[test]
+    fn airway_mesh_report_is_sane() {
+        let am = crate::airway::generate_airway(&crate::airway::AirwaySpec::small()).unwrap();
+        let r = quality_report(&am.mesh);
+        assert!(r.min_shape > 0.0, "no degenerate elements");
+        assert!(r.mean_shape > 0.05);
+        // Boundary-layer prisms are anisotropic: large edge ratios exist.
+        assert!(r.max_edge_ratio > 3.0);
+        let total: usize = r.shape_histogram.iter().sum();
+        assert_eq!(total, am.mesh.num_elements());
+    }
+}

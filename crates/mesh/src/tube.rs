@@ -1,0 +1,428 @@
+//! Meshing of a single airway tube (one branch of the bronchial tree).
+//!
+//! Structure of a tube cross-section, from the wall inward:
+//!
+//! * `n_bl` **prism boundary layers**: the wall surface is triangulated
+//!   structurally in (θ, z) and extruded radially inward, producing the
+//!   boundary-layer prisms the paper's mesh uses to resolve near-wall
+//!   gradients (§2.1, Fig. 1);
+//! * a **tetrahedral core**: each z-slab of the core disc triangulation
+//!   forms logical prisms that are split into 3 tets with the
+//!   *lowest-global-index diagonal rule* ([`split_prism_into_tets`]),
+//!   which keeps shared quad faces conforming — including the faces
+//!   shared with the prism layers.
+//!
+//! Tube end cross-sections are exported as [`CapFaces`] (quads from the
+//! prism layers + triangles from the core disc) so that junction filling
+//! can cap them with **pyramids** and tets — the third element family of
+//! the hybrid mesh.
+
+use crate::builder::{split_prism_into_tets, MeshBuilder};
+use crate::geom::{Frame, Vec3};
+
+/// Resolution and boundary-layer parameters shared by every tube of an
+/// airway tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TubeParams {
+    /// Nodes around the circumference (≥ 3).
+    pub n_theta: usize,
+    /// Number of prism boundary layers (≥ 1).
+    pub n_bl_layers: usize,
+    /// Number of core ring bands between the innermost boundary-layer
+    /// ring and the centerline (≥ 1; 1 means a plain fan to the center).
+    pub n_core_rings: usize,
+    /// Fraction of the tube radius occupied by the boundary layer.
+    pub bl_thickness_frac: f64,
+    /// Geometric growth of boundary-layer thickness away from the wall.
+    pub bl_growth: f64,
+}
+
+impl Default for TubeParams {
+    fn default() -> Self {
+        TubeParams {
+            n_theta: 12,
+            n_bl_layers: 2,
+            n_core_rings: 2,
+            bl_thickness_frac: 0.3,
+            bl_growth: 1.6,
+        }
+    }
+}
+
+impl TubeParams {
+    /// Total number of concentric rings (wall ring, BL rings, core rings,
+    /// excluding the center node).
+    pub fn num_rings(&self) -> usize {
+        self.n_bl_layers + self.n_core_rings
+    }
+
+    /// Radii of all rings for a cross-section of wall radius `r`,
+    /// outermost (wall) first. The last entry is the innermost ring;
+    /// the center node sits at radius 0.
+    pub fn ring_radii(&self, r: f64) -> Vec<f64> {
+        let mut radii = Vec::with_capacity(self.num_rings());
+        // Boundary layer: thinnest layer at the wall, geometric growth
+        // inward — standard BL grading.
+        let total_bl = self.bl_thickness_frac * r;
+        let mut weights = Vec::with_capacity(self.n_bl_layers);
+        let mut w = 1.0;
+        for _ in 0..self.n_bl_layers {
+            weights.push(w);
+            w *= self.bl_growth;
+        }
+        let wsum: f64 = weights.iter().sum();
+        let mut cur = r;
+        radii.push(cur);
+        for l in 0..self.n_bl_layers {
+            cur -= total_bl * weights[l] / wsum;
+            radii.push(cur);
+        }
+        // radii now holds wall + n_bl inner BL rings; the innermost BL
+        // ring doubles as the outermost core ring. Add the interior core
+        // rings (evenly spaced towards the center, excluding radius 0).
+        let r_core = cur;
+        for j in 1..self.n_core_rings {
+            radii.push(r_core * (self.n_core_rings - j) as f64 / self.n_core_rings as f64);
+        }
+        // Ring count: wall + n_bl BL rings + (n_core_rings - 1) interior
+        // core rings = num_rings() (the innermost BL ring doubles as the
+        // outermost core ring).
+        debug_assert_eq!(radii.len(), self.num_rings());
+        radii
+    }
+}
+
+/// Exposed faces of one tube end cross-section, used by junction/cap
+/// filling. Quads come from the prism boundary layers (they are capped
+/// with pyramids), triangles from the tetrahedral core (capped with tets).
+#[derive(Debug, Clone, Default)]
+pub struct CapFaces {
+    pub quads: Vec<[u32; 4]>,
+    pub tris: Vec<[u32; 3]>,
+    /// Wall-ring node loop of this cross section (ring 0), used to tag
+    /// the junction rim as wall boundary.
+    pub rim: Vec<u32>,
+    /// All node ids of the cross-section (for boundary classification).
+    pub all_nodes: Vec<u32>,
+    /// Geometric center of the cross-section.
+    pub center: Vec3,
+    /// Outward axis direction (pointing away from the tube interior).
+    pub outward: Vec3,
+    /// Wall radius of the cross-section.
+    pub radius: f64,
+}
+
+/// The volume mesh of a tube plus its two end cross-sections.
+#[derive(Debug)]
+pub struct TubeMesh {
+    pub start_cap: CapFaces,
+    pub end_cap: CapFaces,
+    /// Range of element indices generated for this tube.
+    pub elem_range: std::ops::Range<u32>,
+}
+
+/// Station node grid of one cross section: `rings[ring][i]` + `center`.
+struct Station {
+    rings: Vec<Vec<u32>>,
+    center: u32,
+}
+
+/// Mesh a straight tube from `start` along `frame.t` with length `len`,
+/// wall radius tapering linearly from `r_start` to `r_end`, using `nz`
+/// axial segments.
+pub fn mesh_tube(
+    b: &mut MeshBuilder,
+    params: &TubeParams,
+    start: Vec3,
+    frame: Frame,
+    len: f64,
+    r_start: f64,
+    r_end: f64,
+    nz: usize,
+) -> TubeMesh {
+    assert!(params.n_theta >= 3, "n_theta must be >= 3");
+    assert!(params.n_bl_layers >= 1, "need at least one boundary layer");
+    assert!(params.n_core_rings >= 1, "need at least one core ring band");
+    assert!(nz >= 1, "need at least one axial segment");
+    let elem_start = b.num_elements() as u32;
+    let nt = params.n_theta;
+    let n_rings = params.num_rings();
+
+    // ---- nodes -------------------------------------------------------
+    let mut stations = Vec::with_capacity(nz + 1);
+    for s in 0..=nz {
+        let f = s as f64 / nz as f64;
+        let center = start + frame.t * (len * f);
+        let r = r_start + (r_end - r_start) * f;
+        let radii = params.ring_radii(r);
+        let mut rings = Vec::with_capacity(n_rings + 1);
+        for &rr in &radii {
+            let mut ring = Vec::with_capacity(nt);
+            for i in 0..nt {
+                let a = 2.0 * std::f64::consts::PI * i as f64 / nt as f64;
+                ring.push(b.add_node(frame.circle_point(center, rr, a)));
+            }
+            rings.push(ring);
+        }
+        let center_node = b.add_node(center);
+        stations.push(Station { rings, center: center_node });
+    }
+
+    // ---- 2D core disc triangulation (station-local pattern) ----------
+    // Triangles are expressed as (ring, theta) index pairs so the same
+    // pattern instantiates at any station. Ring indices here are global
+    // ring indices (n_bl .. n_rings), center = None marker via usize::MAX.
+    let first_core_ring = params.n_bl_layers;
+    let mut disc_tris: Vec<[(usize, usize); 3]> = Vec::new();
+    const CENTER: usize = usize::MAX;
+    for j in first_core_ring..n_rings - 1 {
+        // Ring band between ring j (outer) and j+1 (inner): 2 triangles
+        // per theta cell with a fixed-pattern diagonal.
+        for i in 0..nt {
+            let i1 = (i + 1) % nt;
+            disc_tris.push([(j, i), (j, i1), (j + 1, i1)]);
+            disc_tris.push([(j, i), (j + 1, i1), (j + 1, i)]);
+        }
+    }
+    // Innermost ring to center: fan.
+    for i in 0..nt {
+        let i1 = (i + 1) % nt;
+        disc_tris.push([(n_rings - 1, i), (n_rings - 1, i1), (CENTER, 0)]);
+    }
+    let node_at = |st: &Station, (j, i): (usize, usize)| -> u32 {
+        if j == CENTER {
+            st.center
+        } else {
+            st.rings[j][i]
+        }
+    };
+
+    // ---- volume elements ---------------------------------------------
+    for s in 0..nz {
+        let (lo, hi) = (&stations[s], &stations[s + 1]);
+
+        // Boundary-layer prisms. The (θ, z) surface quad of each column
+        // is split into two triangles; the diagonal is chosen by the
+        // lowest-global-index rule *evaluated on the innermost BL ring*,
+        // which is exactly the rule `split_prism_into_tets` applies to
+        // the core's outer lateral faces — so the BL/core interface
+        // conforms.
+        for i in 0..nt {
+            let i1 = (i + 1) % nt;
+            let ib = first_core_ring; // innermost BL ring index
+            let q = [lo.rings[ib][i], lo.rings[ib][i1], hi.rings[ib][i1], hi.rings[ib][i]];
+            let m = *q.iter().min().unwrap();
+            // true: diagonal (i,s)-(i1,s+1); false: diagonal (i1,s)-(i,s+1).
+            let diag_a = m == q[0] || m == q[2];
+            for l in 0..params.n_bl_layers {
+                // Triangle pattern at ring l (outer) extruded to ring l+1.
+                let tri_pair: [[(usize, usize, bool); 3]; 2] = if diag_a {
+                    // (A, B, C'), (A, C', D') with A=(i,lo) B=(i1,lo)
+                    // C'=(i1,hi) D'=(i,hi)
+                    [
+                        [(l, i, false), (l, i1, false), (l, i1, true)],
+                        [(l, i, false), (l, i1, true), (l, i, true)],
+                    ]
+                } else {
+                    [
+                        [(l, i, false), (l, i1, false), (l, i, true)],
+                        [(l, i1, false), (l, i1, true), (l, i, true)],
+                    ]
+                };
+                for tri in &tri_pair {
+                    let pick = |(ring, ti, top): (usize, usize, bool), inner: bool| -> u32 {
+                        let rj = if inner { ring + 1 } else { ring };
+                        let st = if top { hi } else { lo };
+                        st.rings[rj][ti]
+                    };
+                    let outer: Vec<u32> = tri.iter().map(|&t| pick(t, false)).collect();
+                    let inner: Vec<u32> = tri.iter().map(|&t| pick(t, true)).collect();
+                    b.add_prism([outer[0], outer[1], outer[2], inner[0], inner[1], inner[2]]);
+                }
+            }
+        }
+
+        // Core tets: extrude each disc triangle into a logical prism and
+        // split with the conforming lowest-index rule.
+        for tri in &disc_tris {
+            let a = [node_at(lo, tri[0]), node_at(lo, tri[1]), node_at(lo, tri[2])];
+            let t = [node_at(hi, tri[0]), node_at(hi, tri[1]), node_at(hi, tri[2])];
+            for tet in split_prism_into_tets(a, t) {
+                b.add_tet(tet);
+            }
+        }
+    }
+
+    // ---- cap faces -----------------------------------------------------
+    let cap = |st: &Station, outward: Vec3, radius: f64, center: Vec3| -> CapFaces {
+        let mut quads = Vec::new();
+        for l in 0..params.n_bl_layers {
+            for i in 0..nt {
+                let i1 = (i + 1) % nt;
+                quads.push([st.rings[l][i], st.rings[l][i1], st.rings[l + 1][i1], st.rings[l + 1][i]]);
+            }
+        }
+        let tris = disc_tris
+            .iter()
+            .map(|tri| [node_at(st, tri[0]), node_at(st, tri[1]), node_at(st, tri[2])])
+            .collect();
+        let mut all_nodes: Vec<u32> = st.rings.iter().flatten().copied().collect();
+        all_nodes.push(st.center);
+        CapFaces {
+            quads,
+            tris,
+            rim: st.rings[0].clone(),
+            all_nodes,
+            center,
+            outward,
+            radius,
+        }
+    };
+    let start_cap = cap(&stations[0], -frame.t, r_start, start);
+    let end_cap = cap(
+        &stations[nz],
+        frame.t,
+        r_end,
+        start + frame.t * len,
+    );
+
+    TubeMesh {
+        start_cap,
+        end_cap,
+        elem_range: elem_start..b.num_elements() as u32,
+    }
+}
+
+/// Star-fill a set of cap faces to a hub node: each triangle becomes a
+/// tetrahedron, each quadrilateral becomes a **pyramid** — this is where
+/// the hybrid mesh's pyramids come from (prism quad faces transitioning
+/// to the tetrahedral junction fill, exactly the role pyramids play in
+/// the paper's mesh).
+pub fn fill_cap_to_hub(b: &mut MeshBuilder, cap: &CapFaces, hub: u32) -> std::ops::Range<u32> {
+    let start = b.num_elements() as u32;
+    for &[u, v, w] in &cap.tris {
+        b.add_tet([u, v, w, hub]);
+    }
+    for &[p, q, r, s] in &cap.quads {
+        b.add_pyramid([p, q, r, s, hub]);
+    }
+    start..b.num_elements() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_tube(nz: usize) -> (crate::mesh::Mesh, TubeMesh) {
+        let mut b = MeshBuilder::new();
+        let params = TubeParams::default();
+        let frame = Frame::from_tangent(Vec3::new(0.0, 0.0, 1.0));
+        let tm = mesh_tube(&mut b, &params, Vec3::ZERO, frame, 4.0, 1.0, 0.8, nz);
+        (b.finish(), tm)
+    }
+
+    #[test]
+    fn tube_all_volumes_positive() {
+        let (m, _) = demo_tube(4);
+        assert!(m.negative_volume_elements().is_empty());
+    }
+
+    #[test]
+    fn tube_is_conforming() {
+        // Every face is shared by at most 2 elements; the face_neighbors
+        // construction itself asserts pairing consistency. Additionally,
+        // interior faces must dominate for a solid tube.
+        let (m, _) = demo_tube(3);
+        let fns = m.face_neighbors();
+        let mut interior = 0usize;
+        let mut exterior = 0usize;
+        for e in 0..m.num_elements() {
+            for f in fns.faces(e) {
+                match f {
+                    Some(_) => interior += 1,
+                    None => exterior += 1,
+                }
+            }
+        }
+        assert!(interior > exterior, "solid tube should be mostly interior faces");
+    }
+
+    #[test]
+    fn tube_volume_close_to_cylinder() {
+        // A tapered tube of r 1.0 -> 0.8, length 4: frustum volume
+        // = pi*L/3*(r0^2 + r0 r1 + r1^2). The polygonal cross-section
+        // underestimates by the polygon/circle area ratio
+        // sin(2pi/n)/(2pi/n).
+        let (m, _) = demo_tube(8);
+        let s = m.stats();
+        let frustum = std::f64::consts::PI * 4.0 / 3.0 * (1.0 + 0.8 + 0.64);
+        let n = TubeParams::default().n_theta as f64;
+        let poly_factor = (2.0 * std::f64::consts::PI / n).sin() / (2.0 * std::f64::consts::PI / n);
+        let expected = frustum * poly_factor;
+        let rel = (s.total_volume - expected).abs() / expected;
+        assert!(rel < 0.02, "volume {} vs expected {expected}", s.total_volume);
+    }
+
+    #[test]
+    fn tube_element_mix_prisms_and_tets() {
+        let (m, _) = demo_tube(4);
+        let s = m.stats();
+        assert!(s.num_prisms > 0, "boundary layer must produce prisms");
+        assert!(s.num_tets > 0, "core must produce tets");
+        assert_eq!(s.num_pyramids, 0, "an open tube has no pyramids");
+        // BL prisms per slab: 2 triangles * n_theta columns * n_bl layers.
+        let p = TubeParams::default();
+        assert_eq!(s.num_prisms, 2 * p.n_theta * p.n_bl_layers * 4);
+    }
+
+    #[test]
+    fn cap_fill_produces_pyramids_and_conforms() {
+        let mut b = MeshBuilder::new();
+        let params = TubeParams::default();
+        let frame = Frame::from_tangent(Vec3::new(0.0, 0.0, 1.0));
+        let tm = mesh_tube(&mut b, &params, Vec3::ZERO, frame, 2.0, 1.0, 1.0, 2);
+        let hub = b.add_node(Vec3::new(0.0, 0.0, 2.6));
+        fill_cap_to_hub(&mut b, &tm.end_cap, hub);
+        let m = b.finish();
+        let s = m.stats();
+        assert_eq!(s.num_pyramids, params.n_theta * params.n_bl_layers);
+        assert!(m.negative_volume_elements().is_empty());
+        // Conformity: the cap faces must now be interior (paired).
+        let fns = m.face_neighbors();
+        let mut exterior_quads = 0;
+        for e in 0..m.num_elements() {
+            for (f, nb) in fns.faces(e).iter().enumerate() {
+                if nb.is_none() && m.kinds[e].faces()[f].len() == 4 {
+                    exterior_quads += 1;
+                }
+            }
+        }
+        // Only the (uncapped) start cross-section still exposes quads.
+        assert_eq!(
+            exterior_quads,
+            params.n_theta * params.n_bl_layers,
+            "end-cap prism quad faces must all be capped"
+        );
+    }
+
+    #[test]
+    fn ring_radii_monotone_decreasing() {
+        let p = TubeParams { n_bl_layers: 3, n_core_rings: 3, ..Default::default() };
+        let radii = p.ring_radii(2.0);
+        assert_eq!(radii.len(), p.num_rings());
+        assert!((radii[0] - 2.0).abs() < 1e-12);
+        for w in radii.windows(2) {
+            assert!(w[1] < w[0], "radii must decrease inward: {radii:?}");
+        }
+        assert!(*radii.last().unwrap() > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n_theta")]
+    fn degenerate_params_rejected() {
+        let mut b = MeshBuilder::new();
+        let params = TubeParams { n_theta: 2, ..Default::default() };
+        let frame = Frame::from_tangent(Vec3::new(0.0, 0.0, 1.0));
+        mesh_tube(&mut b, &params, Vec3::ZERO, frame, 1.0, 1.0, 1.0, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Legacy VTK (ASCII, `.vtk`) export of the hybrid mesh with optional
+//! nodal fields — lets users inspect the generated airway geometry and
+//! computed flow/deposition in ParaView, the standard companion of a
+//! CFPD workflow.
+
+use crate::element::ElementKind;
+use crate::geom::Vec3;
+use crate::mesh::Mesh;
+use std::fmt::Write as _;
+
+/// VTK cell type ids for the supported elements.
+fn vtk_cell_type(kind: ElementKind) -> u8 {
+    match kind {
+        ElementKind::Tet4 => 10,  // VTK_TETRA
+        ElementKind::Pyr5 => 14,  // VTK_PYRAMID
+        ElementKind::Pri6 => 13,  // VTK_WEDGE
+    }
+}
+
+/// VTK node-order permutation from our local ordering. Tets and
+/// pyramids match VTK directly; VTK wedges list the two triangles in
+/// opposite orientation relative to ours, handled here.
+fn vtk_node_order(kind: ElementKind) -> &'static [usize] {
+    match kind {
+        ElementKind::Tet4 => &[0, 1, 2, 3],
+        ElementKind::Pyr5 => &[0, 1, 2, 3, 4],
+        // VTK_WEDGE expects bottom triangle then top triangle with both
+        // triangles wound consistently when viewed from outside; our
+        // prism convention maps directly but with the bottom reversed.
+        ElementKind::Pri6 => &[0, 2, 1, 3, 5, 4],
+    }
+}
+
+/// Serialize the mesh (and optional named nodal fields) as a legacy
+/// VTK unstructured grid.
+pub fn to_vtk(mesh: &Mesh, fields: &[(&str, &[Vec3])], scalars: &[(&str, &[f64])]) -> String {
+    let mut out = String::new();
+    out.push_str("# vtk DataFile Version 3.0\n");
+    out.push_str("cfpd-rs hybrid airway mesh\nASCII\nDATASET UNSTRUCTURED_GRID\n");
+    let _ = writeln!(out, "POINTS {} double", mesh.num_nodes());
+    for p in &mesh.coords {
+        let _ = writeln!(out, "{} {} {}", p.x, p.y, p.z);
+    }
+    let total_ints: usize = (0..mesh.num_elements())
+        .map(|e| mesh.kinds[e].num_nodes() + 1)
+        .sum();
+    let _ = writeln!(out, "CELLS {} {}", mesh.num_elements(), total_ints);
+    for e in 0..mesh.num_elements() {
+        let nodes = mesh.elem_nodes(e);
+        let order = vtk_node_order(mesh.kinds[e]);
+        let _ = write!(out, "{}", nodes.len());
+        for &li in order {
+            let _ = write!(out, " {}", nodes[li]);
+        }
+        out.push('\n');
+    }
+    let _ = writeln!(out, "CELL_TYPES {}", mesh.num_elements());
+    for e in 0..mesh.num_elements() {
+        let _ = writeln!(out, "{}", vtk_cell_type(mesh.kinds[e]));
+    }
+    if !fields.is_empty() || !scalars.is_empty() {
+        let _ = writeln!(out, "POINT_DATA {}", mesh.num_nodes());
+        for (name, data) in fields {
+            assert_eq!(data.len(), mesh.num_nodes(), "field {name} wrong length");
+            let _ = writeln!(out, "VECTORS {name} double");
+            for v in *data {
+                let _ = writeln!(out, "{} {} {}", v.x, v.y, v.z);
+            }
+        }
+        for (name, data) in scalars {
+            assert_eq!(data.len(), mesh.num_nodes(), "scalar {name} wrong length");
+            let _ = writeln!(out, "SCALARS {name} double 1\nLOOKUP_TABLE default");
+            for v in *data {
+                let _ = writeln!(out, "{v}");
+            }
+        }
+    }
+    out
+}
+
+/// Write the VTK serialization to a file.
+pub fn write_vtk(
+    mesh: &Mesh,
+    path: &std::path::Path,
+    fields: &[(&str, &[Vec3])],
+    scalars: &[(&str, &[f64])],
+) -> std::io::Result<()> {
+    std::fs::write(path, to_vtk(mesh, fields, scalars))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::airway::{generate_airway, AirwaySpec};
+
+    #[test]
+    fn vtk_structure_is_complete() {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let vel = vec![Vec3::new(1.0, 0.0, 0.0); am.mesh.num_nodes()];
+        let press = vec![0.5f64; am.mesh.num_nodes()];
+        let vtk = to_vtk(&am.mesh, &[("velocity", &vel)], &[("pressure", &press)]);
+        assert!(vtk.starts_with("# vtk DataFile"));
+        assert!(vtk.contains(&format!("POINTS {} double", am.mesh.num_nodes())));
+        assert!(vtk.contains(&format!("CELL_TYPES {}", am.mesh.num_elements())));
+        assert!(vtk.contains("VECTORS velocity double"));
+        assert!(vtk.contains("SCALARS pressure double 1"));
+        // All three VTK cell types appear (hybrid mesh).
+        let types_section = vtk.split("CELL_TYPES").nth(1).unwrap();
+        for ty in ["10", "13", "14"] {
+            assert!(
+                types_section.lines().any(|l| l.trim() == ty),
+                "missing VTK cell type {ty}"
+            );
+        }
+    }
+
+    #[test]
+    fn cell_lines_have_correct_arity() {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let vtk = to_vtk(&am.mesh, &[], &[]);
+        let cells = vtk
+            .split("CELLS")
+            .nth(1)
+            .unwrap()
+            .lines()
+            .skip(1)
+            .take(am.mesh.num_elements());
+        for (e, line) in cells.enumerate() {
+            let mut it = line.split_whitespace();
+            let n: usize = it.next().unwrap().parse().unwrap();
+            assert_eq!(n, am.mesh.kinds[e].num_nodes(), "element {e}");
+            assert_eq!(it.count(), n);
+        }
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let dir = std::env::temp_dir().join("cfpd_vtk_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mesh.vtk");
+        write_vtk(&am.mesh, &path, &[], &[]).unwrap();
+        let size = std::fs::metadata(&path).unwrap().len();
+        assert!(size > 1000);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,212 @@
+//! Particle force models of §2.1: drag with Ganser's drag-coefficient
+//! correlation (eq. 8), gravity (eq. 4) and buoyancy (eq. 5).
+
+use cfpd_mesh::Vec3;
+
+/// Properties of one aerosol particle species.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleProps {
+    /// Diameter d_p [m]. Therapeutic aerosols: 1–10 µm.
+    pub diameter: f64,
+    /// Density ρ_p [kg/m³]. Water-like droplets ≈ 1000.
+    pub density: f64,
+}
+
+impl ParticleProps {
+    /// Particle mass m_p = ρ_p π d³/6.
+    #[inline]
+    pub fn mass(&self) -> f64 {
+        self.density * std::f64::consts::PI * self.diameter.powi(3) / 6.0
+    }
+}
+
+impl Default for ParticleProps {
+    fn default() -> Self {
+        // 5 µm water droplet — a typical inhaled-drug aerosol size.
+        ParticleProps { diameter: 5e-6, density: 1000.0 }
+    }
+}
+
+/// Particle Reynolds number (eq. 7): `Re_p = ρ_f d_p |u_f − u_p| / µ_f`.
+#[inline]
+pub fn particle_reynolds(
+    fluid_density: f64,
+    fluid_viscosity: f64,
+    diameter: f64,
+    rel_speed: f64,
+) -> f64 {
+    fluid_density * diameter * rel_speed / fluid_viscosity
+}
+
+/// Ganser's drag coefficient for spherical particles (eq. 8):
+/// `C_D = 24/Re [1 + 0.1118 Re^0.6567] + 0.4305 / (1 + 3305/Re)`.
+///
+/// As Re → 0 this recovers Stokes drag (C_D → 24/Re).
+#[inline]
+pub fn ganser_cd(re: f64) -> f64 {
+    let re = re.max(1e-12);
+    24.0 / re * (1.0 + 0.1118 * re.powf(0.6567)) + 0.4305 / (1.0 + 3305.0 / re)
+}
+
+/// Drag force (eq. 6): `F_D = (π/8) µ_f d_p C_D Re_p (u_f − u_p)`.
+#[inline]
+pub fn drag_force(
+    fluid_density: f64,
+    fluid_viscosity: f64,
+    props: ParticleProps,
+    fluid_vel: Vec3,
+    particle_vel: Vec3,
+) -> Vec3 {
+    let rel = fluid_vel - particle_vel;
+    let speed = rel.norm();
+    if speed < 1e-300 {
+        return Vec3::ZERO;
+    }
+    let re = particle_reynolds(fluid_density, fluid_viscosity, props.diameter, speed);
+    let cd = ganser_cd(re);
+    rel * (std::f64::consts::PI / 8.0 * fluid_viscosity * props.diameter * cd * re)
+}
+
+/// Gravity (eq. 4): `F_g = m_p g` with g pointing in `gravity_dir`.
+#[inline]
+pub fn gravity_force(props: ParticleProps, gravity: Vec3) -> Vec3 {
+    gravity * props.mass()
+}
+
+/// Buoyancy (eq. 5): `F_b = −m_p g ρ_f/ρ_p`.
+#[inline]
+pub fn buoyancy_force(props: ParticleProps, fluid_density: f64, gravity: Vec3) -> Vec3 {
+    -gravity * (props.mass() * fluid_density / props.density)
+}
+
+/// Total force (eq. 3 RHS): drag + gravity + buoyancy.
+#[inline]
+pub fn total_force(
+    fluid_density: f64,
+    fluid_viscosity: f64,
+    props: ParticleProps,
+    fluid_vel: Vec3,
+    particle_vel: Vec3,
+    gravity: Vec3,
+) -> Vec3 {
+    drag_force(fluid_density, fluid_viscosity, props, fluid_vel, particle_vel)
+        + gravity_force(props, gravity)
+        + buoyancy_force(props, fluid_density, gravity)
+}
+
+/// Analytic terminal (settling) velocity in the Stokes regime:
+/// `v_t = (ρ_p − ρ_f) g d² / (18 µ)` — used to validate the force model.
+pub fn stokes_terminal_velocity(
+    props: ParticleProps,
+    fluid_density: f64,
+    fluid_viscosity: f64,
+    g: f64,
+) -> f64 {
+    (props.density - fluid_density) * g * props.diameter * props.diameter
+        / (18.0 * fluid_viscosity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AIR_RHO: f64 = 1.14;
+    const AIR_MU: f64 = 1.9e-5;
+
+    #[test]
+    fn ganser_recovers_stokes_at_low_re() {
+        for re in [1e-6, 1e-4, 1e-3] {
+            let cd = ganser_cd(re);
+            let stokes = 24.0 / re;
+            assert!(
+                (cd - stokes).abs() / stokes < 1e-2,
+                "Re={re}: Cd={cd} vs Stokes={stokes}"
+            );
+        }
+    }
+
+    #[test]
+    fn ganser_cd_monotone_decreasing_at_small_re() {
+        let mut prev = f64::INFINITY;
+        let mut re = 1e-4;
+        while re < 1e2 {
+            let cd = ganser_cd(re);
+            assert!(cd < prev, "Cd must decrease with Re in this range (Re={re})");
+            prev = cd;
+            re *= 10.0;
+        }
+    }
+
+    #[test]
+    fn ganser_approaches_newton_regime() {
+        // At high Re, Cd approaches ~0.43 plus the residual 24/Re term.
+        let cd = ganser_cd(1e6);
+        assert!(cd > 0.4 && cd < 1.0, "Cd(1e6) = {cd}");
+    }
+
+    #[test]
+    fn drag_opposes_relative_velocity() {
+        let props = ParticleProps::default();
+        let f = drag_force(
+            AIR_RHO,
+            AIR_MU,
+            props,
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(3.0, 0.0, 0.0),
+        );
+        assert!(f.x < 0.0, "drag must pull the particle toward the fluid velocity");
+        assert_eq!(f.y, 0.0);
+    }
+
+    #[test]
+    fn stokes_drag_magnitude_matches_analytic() {
+        // In the Stokes regime F = 3 π µ d (u_f − u_p).
+        let props = ParticleProps { diameter: 1e-6, density: 1000.0 };
+        let rel = 1e-4; // tiny slip => Re ~ 6e-9, firmly Stokes
+        let f = drag_force(AIR_RHO, AIR_MU, props, Vec3::new(rel, 0.0, 0.0), Vec3::ZERO);
+        let analytic = 3.0 * std::f64::consts::PI * AIR_MU * props.diameter * rel;
+        assert!(
+            (f.x - analytic).abs() / analytic < 1e-2,
+            "{} vs {}",
+            f.x,
+            analytic
+        );
+    }
+
+    #[test]
+    fn gravity_and_buoyancy_balance_for_neutral_density() {
+        let props = ParticleProps { diameter: 1e-6, density: AIR_RHO };
+        let g = Vec3::new(0.0, 0.0, -9.81);
+        let sum = gravity_force(props, g) + buoyancy_force(props, AIR_RHO, g);
+        assert!(sum.norm() < 1e-25);
+    }
+
+    #[test]
+    fn mass_of_water_droplet() {
+        let props = ParticleProps { diameter: 1e-3, density: 1000.0 };
+        // 1 mm water droplet: m = 1000 * pi/6 * 1e-9 kg ≈ 5.236e-7 kg.
+        assert!((props.mass() - 5.235_987_755_982_989e-7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn settling_reaches_stokes_terminal_velocity() {
+        // Explicitly integrate a particle falling in still air; its speed
+        // must converge to the analytic Stokes terminal velocity (valid
+        // because Re stays << 1 for a 5 µm droplet).
+        let props = ParticleProps::default();
+        let g = Vec3::new(0.0, 0.0, -9.81);
+        let mut v = Vec3::ZERO;
+        let dt = 1e-5;
+        for _ in 0..20_000 {
+            let f = total_force(AIR_RHO, AIR_MU, props, Vec3::ZERO, v, g);
+            v += f * (dt / props.mass());
+        }
+        let vt = stokes_terminal_velocity(props, AIR_RHO, AIR_MU, 9.81);
+        assert!(
+            (v.z.abs() - vt).abs() / vt < 0.02,
+            "terminal {} vs analytic {}",
+            v.z.abs(),
+            vt
+        );
+    }
+}

@@ -1,0 +1,235 @@
+//! Extended transport physics beyond the paper's baseline force set
+//! (drag + gravity + buoyancy): Saffman shear lift, Brownian motion for
+//! sub-micron aerosols, and the discrete-random-walk turbulent
+//! dispersion model used by the stochastic airway studies the paper
+//! cites (Ghahramani et al., ref. [13]). All optional and off by
+//! default, so the baseline reproduction stays exactly the paper's
+//! model.
+
+use crate::forces::ParticleProps;
+use cfpd_mesh::Vec3;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Boltzmann constant [J/K].
+const K_BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Optional force/transport extensions.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportModel {
+    /// Saffman–Mei shear-induced lift.
+    pub saffman_lift: bool,
+    /// Brownian force at the given absolute temperature [K]
+    /// (significant for d ≲ 0.5 µm).
+    pub brownian_temperature: Option<f64>,
+    /// Discrete-random-walk turbulent dispersion with the given
+    /// turbulence intensity (u'/|u|, typically 0.05–0.2 in airways).
+    pub turbulence_intensity: Option<f64>,
+}
+
+impl Default for TransportModel {
+    fn default() -> Self {
+        // The paper's baseline: no extensions.
+        TransportModel {
+            saffman_lift: false,
+            brownian_temperature: None,
+            turbulence_intensity: None,
+        }
+    }
+}
+
+impl TransportModel {
+    /// The paper's force set (eqs. 3–8) only.
+    pub fn paper_baseline() -> Self {
+        Self::default()
+    }
+
+    /// Everything on — for sub-micron pollutant studies.
+    pub fn extended() -> Self {
+        TransportModel {
+            saffman_lift: true,
+            brownian_temperature: Some(310.0), // body temperature
+            turbulence_intensity: Some(0.1),
+        }
+    }
+}
+
+/// Deterministic per-particle random stream for the stochastic terms.
+#[derive(Debug)]
+pub struct DispersionRng {
+    rng: StdRng,
+}
+
+impl DispersionRng {
+    pub fn new(seed: u64) -> Self {
+        DispersionRng { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Standard-normal 3-vector (Box–Muller on uniform draws).
+    pub fn gaussian3(&mut self) -> Vec3 {
+        let mut pair = || {
+            let u1: f64 = self.rng.random::<f64>().max(1e-12);
+            let u2: f64 = self.rng.random();
+            let r = (-2.0 * u1.ln()).sqrt();
+            (r * (std::f64::consts::TAU * u2).cos(), r * (std::f64::consts::TAU * u2).sin())
+        };
+        let (a, b) = pair();
+        let (c, _) = pair();
+        Vec3::new(a, b, c)
+    }
+}
+
+/// Saffman–Mei lift force for a sphere in a linear shear:
+/// `F_L = 1.615 µ d |u_rel| sqrt(Re_G) sign-corrected direction`,
+/// with the shear Reynolds number `Re_G = ρ d² |ω| / µ` and the
+/// direction `(u_rel × ω) / |u_rel × ω|`.
+pub fn saffman_lift(
+    fluid_density: f64,
+    fluid_viscosity: f64,
+    props: ParticleProps,
+    rel_velocity: Vec3,
+    vorticity: Vec3,
+) -> Vec3 {
+    let omega = vorticity.norm();
+    if omega < 1e-14 {
+        return Vec3::ZERO;
+    }
+    let cross = rel_velocity.cross(vorticity);
+    let cross_norm = cross.norm();
+    if cross_norm < 1e-300 {
+        return Vec3::ZERO;
+    }
+    let re_g = fluid_density * props.diameter * props.diameter * omega / fluid_viscosity;
+    let magnitude = 1.615
+        * fluid_viscosity
+        * props.diameter
+        * rel_velocity.norm()
+        * re_g.sqrt();
+    cross / cross_norm * magnitude
+}
+
+/// Brownian force amplitude per √dt (Li & Ahmadi form):
+/// `F_B = ξ sqrt(π S₀ / dt)` with spectral intensity
+/// `S₀ = 216 µ k_B T / (π² ρ_f d⁵ (ρ_p/ρ_f)² C_c)` (slip factor C_c ≈ 1
+/// here — a documented simplification for d ≥ 1 µm).
+pub fn brownian_force(
+    fluid_density: f64,
+    fluid_viscosity: f64,
+    props: ParticleProps,
+    temperature: f64,
+    dt: f64,
+    xi: Vec3,
+) -> Vec3 {
+    let d = props.diameter;
+    let density_ratio = props.density / fluid_density;
+    let s0 = 216.0 * fluid_viscosity * K_BOLTZMANN * temperature
+        / (std::f64::consts::PI.powi(2)
+            * fluid_density
+            * d.powi(5)
+            * density_ratio
+            * density_ratio);
+    xi * (std::f64::consts::PI * s0 / dt).sqrt() * props.mass()
+}
+
+/// Fluctuating fluid velocity seen by the particle under the discrete
+/// random walk model: `u' = ξ · I · |u|` per component.
+pub fn turbulent_fluctuation(mean_velocity: Vec3, intensity: f64, xi: Vec3) -> Vec3 {
+    let speed = mean_velocity.norm();
+    Vec3::new(xi.x * intensity * speed, xi.y * intensity * speed, xi.z * intensity * speed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const AIR_RHO: f64 = 1.14;
+    const AIR_MU: f64 = 1.9e-5;
+
+    #[test]
+    fn lift_is_orthogonal_to_slip_and_vorticity() {
+        let props = ParticleProps::default();
+        let rel = Vec3::new(1.0, 0.0, 0.0);
+        let omega = Vec3::new(0.0, 0.0, 10.0);
+        let f = saffman_lift(AIR_RHO, AIR_MU, props, rel, omega);
+        assert!(f.norm() > 0.0);
+        assert!(f.dot(rel).abs() < 1e-18 * f.norm().max(1.0));
+        assert!(f.dot(omega).abs() < 1e-18);
+        // Direction: rel x omega = (0,-10,0) direction => -y.
+        assert!(f.y < 0.0);
+    }
+
+    #[test]
+    fn lift_vanishes_without_shear_or_slip() {
+        let props = ParticleProps::default();
+        assert_eq!(
+            saffman_lift(AIR_RHO, AIR_MU, props, Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO),
+            Vec3::ZERO
+        );
+        assert_eq!(
+            saffman_lift(AIR_RHO, AIR_MU, props, Vec3::ZERO, Vec3::new(0.0, 0.0, 1.0)),
+            Vec3::ZERO
+        );
+    }
+
+    #[test]
+    fn lift_grows_with_shear() {
+        let props = ParticleProps::default();
+        let rel = Vec3::new(1.0, 0.0, 0.0);
+        let f1 = saffman_lift(AIR_RHO, AIR_MU, props, rel, Vec3::new(0.0, 0.0, 10.0)).norm();
+        let f2 = saffman_lift(AIR_RHO, AIR_MU, props, rel, Vec3::new(0.0, 0.0, 40.0)).norm();
+        // sqrt scaling: x4 shear => x2 lift.
+        assert!((f2 / f1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn brownian_stronger_for_smaller_particles() {
+        let xi = Vec3::new(1.0, 0.0, 0.0);
+        let small = ParticleProps { diameter: 0.1e-6, density: 1000.0 };
+        let large = ParticleProps { diameter: 5e-6, density: 1000.0 };
+        let fs = brownian_force(AIR_RHO, AIR_MU, small, 310.0, 1e-4, xi).norm() / small.mass();
+        let fl = brownian_force(AIR_RHO, AIR_MU, large, 310.0, 1e-4, xi).norm() / large.mass();
+        assert!(
+            fs > 100.0 * fl,
+            "Brownian acceleration must dominate for sub-micron particles: {fs} vs {fl}"
+        );
+    }
+
+    #[test]
+    fn gaussian_stream_is_deterministic_and_roughly_standard() {
+        let mut a = DispersionRng::new(9);
+        let mut b = DispersionRng::new(9);
+        assert_eq!(a.gaussian3(), b.gaussian3());
+        let mut rng = DispersionRng::new(1);
+        let n = 4000;
+        let mut sum = Vec3::ZERO;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let g = rng.gaussian3();
+            sum += g;
+            sq += g.norm2();
+        }
+        let mean = sum / n as f64;
+        assert!(mean.norm() < 0.1, "mean {mean:?}");
+        let var = sq / (3.0 * n as f64);
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    fn turbulence_scales_with_speed_and_intensity() {
+        let xi = Vec3::new(1.0, 1.0, 1.0);
+        let u = Vec3::new(3.0, 0.0, 0.0);
+        let f1 = turbulent_fluctuation(u, 0.1, xi).norm();
+        let f2 = turbulent_fluctuation(u * 2.0, 0.1, xi).norm();
+        let f3 = turbulent_fluctuation(u, 0.2, xi).norm();
+        assert!((f2 / f1 - 2.0).abs() < 1e-12);
+        assert!((f3 / f1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn default_model_is_paper_baseline() {
+        let m = TransportModel::default();
+        assert!(!m.saffman_lift);
+        assert!(m.brownian_temperature.is_none());
+        assert!(m.turbulence_intensity.is_none());
+    }
+}

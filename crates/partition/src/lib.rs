@@ -1,0 +1,27 @@
+//! # cfpd-partition — graph partitioning and coloring (Metis substitute)
+//!
+//! The paper relies on Metis at two levels: (i) decomposing the mesh
+//! into per-MPI-process domains, and (ii) decomposing each MPI domain
+//! into the subdomains that become OpenMP tasks in the multidependences
+//! scheme (§3.1). It also uses mesh coloring (Farhat & Crivelli) as one
+//! of the three assembly parallelization strategies. This crate
+//! implements all three from scratch:
+//!
+//! * [`graph`] — CSR weighted graphs,
+//! * [`kway`] — greedy graph-growing k-way partitioning with boundary
+//!   refinement,
+//! * [`coloring`] — greedy largest-degree-first coloring,
+//! * [`subdomain`] — subdomain decomposition + node-sharing adjacency
+//!   (the "incompatibility" relation driving `mutexinoutset`).
+
+pub mod coloring;
+pub mod graph;
+pub mod kway;
+pub mod rcb;
+pub mod subdomain;
+
+pub use coloring::{greedy_coloring, Coloring};
+pub use graph::Graph;
+pub use kway::{partition_kway, Partition};
+pub use rcb::partition_rcb;
+pub use subdomain::{decompose_subdomains, local_element_graph, SubdomainDecomposition};

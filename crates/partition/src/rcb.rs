@@ -1,0 +1,152 @@
+//! Recursive coordinate bisection (RCB) — a geometric partitioner used
+//! as an ablation baseline against the graph-growing k-way partitioner
+//! (the paper's Metis stand-in). RCB is faster but ignores connectivity,
+//! yielding higher edge cuts; the ablation bench quantifies the
+//! difference on airway meshes.
+
+use crate::kway::Partition;
+
+/// Partition `points` (with `weights`) into `k` parts by recursively
+/// bisecting along the longest axis at the weighted median.
+pub fn partition_rcb(points: &[[f64; 3]], weights: &[f64], k: usize) -> Partition {
+    assert_eq!(points.len(), weights.len());
+    assert!(k >= 1);
+    let n = points.len();
+    let mut parts = vec![0u32; n];
+    if k > 1 && n > 0 {
+        let mut ids: Vec<u32> = (0..n as u32).collect();
+        rcb_recurse(points, weights, &mut ids, 0, k as u32, &mut parts);
+    }
+    Partition { parts, num_parts: k }
+}
+
+fn rcb_recurse(
+    points: &[[f64; 3]],
+    weights: &[f64],
+    ids: &mut [u32],
+    first_part: u32,
+    num_parts: u32,
+    parts: &mut [u32],
+) {
+    if num_parts == 1 || ids.is_empty() {
+        for &i in ids.iter() {
+            parts[i as usize] = first_part;
+        }
+        return;
+    }
+    // Longest axis of the bounding box.
+    let mut lo = [f64::INFINITY; 3];
+    let mut hi = [f64::NEG_INFINITY; 3];
+    for &i in ids.iter() {
+        for c in 0..3 {
+            lo[c] = lo[c].min(points[i as usize][c]);
+            hi[c] = hi[c].max(points[i as usize][c]);
+        }
+    }
+    let axis = (0..3).max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+    ids.sort_unstable_by(|&a, &b| {
+        points[a as usize][axis]
+            .partial_cmp(&points[b as usize][axis])
+            .unwrap()
+    });
+    // Split proportionally to the sub-part counts at the weighted median.
+    let left_parts = num_parts / 2;
+    let right_parts = num_parts - left_parts;
+    let total: f64 = ids.iter().map(|&i| weights[i as usize]).sum();
+    let target = total * left_parts as f64 / num_parts as f64;
+    let mut acc = 0.0;
+    let mut split = ids.len();
+    for (pos, &i) in ids.iter().enumerate() {
+        acc += weights[i as usize];
+        if acc >= target {
+            split = pos + 1;
+            break;
+        }
+    }
+    split = split.clamp(1, ids.len().saturating_sub(1).max(1));
+    let (left, right) = ids.split_at_mut(split);
+    rcb_recurse(points, weights, left, first_part, left_parts, parts);
+    rcb_recurse(points, weights, right, first_part + left_parts, right_parts, parts);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points(nx: usize, ny: usize) -> Vec<[f64; 3]> {
+        let mut pts = Vec::new();
+        for y in 0..ny {
+            for x in 0..nx {
+                pts.push([x as f64, y as f64, 0.0]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn covers_all_with_valid_parts() {
+        let pts = grid_points(10, 10);
+        let w = vec![1.0; 100];
+        let p = partition_rcb(&pts, &w, 7);
+        assert!(p.parts.iter().all(|&x| x < 7));
+        // All parts non-empty for a uniform grid.
+        let mut counts = vec![0usize; 7];
+        for &x in &p.parts {
+            counts[x as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    #[test]
+    fn balances_uniform_weights() {
+        let pts = grid_points(16, 16);
+        let w = vec![1.0; 256];
+        let p = partition_rcb(&pts, &w, 8);
+        let mut counts = vec![0.0f64; 8];
+        for &x in &p.parts {
+            counts[x as usize] += 1.0;
+        }
+        let max = counts.iter().cloned().fold(0.0, f64::max);
+        let lb = counts.iter().sum::<f64>() / (8.0 * max);
+        assert!(lb > 0.85, "RCB balance {lb}");
+    }
+
+    #[test]
+    fn bisection_splits_along_longest_axis() {
+        // A 100x2 strip bisected in 2 must split along x.
+        let pts = grid_points(100, 2);
+        let w = vec![1.0; 200];
+        let p = partition_rcb(&pts, &w, 2);
+        // All points with x < 50 in one part.
+        let part_of_left = p.parts[0];
+        for (i, pt) in pts.iter().enumerate() {
+            if pt[0] < 49.0 {
+                assert_eq!(p.parts[i], part_of_left, "point {i} at {pt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_part_and_empty() {
+        let p = partition_rcb(&[], &[], 3);
+        assert_eq!(p.parts.len(), 0);
+        let pts = grid_points(3, 3);
+        let w = vec![1.0; 9];
+        let p = partition_rcb(&pts, &w, 1);
+        assert!(p.parts.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn weighted_median_respects_weights() {
+        // One very heavy point at the left end: with k=2 it should sit
+        // alone (or nearly) in its part.
+        let pts = grid_points(10, 1);
+        let mut w = vec![1.0; 10];
+        w[0] = 9.0;
+        let p = partition_rcb(&pts, &w, 2);
+        let heavy_part = p.parts[0];
+        let same: usize = (0..10).filter(|&i| p.parts[i] == heavy_part).count();
+        assert!(same <= 2, "heavy point should dominate its part, got {same} members");
+    }
+}

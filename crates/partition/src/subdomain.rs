@@ -1,0 +1,210 @@
+//! Subdomain decomposition for the multidependences scheme (§3.1).
+//!
+//! The paper partitions each MPI domain into subdomains with Metis and
+//! maps each subdomain to an OpenMP task; subdomains that *share at
+//! least one mesh node* are "incompatible" (their tasks are linked with
+//! `mutexinoutset` so they never run concurrently), while non-adjacent
+//! subdomains run in parallel without atomics.
+
+use crate::graph::Graph;
+use crate::kway::{partition_kway, Partition};
+use cfpd_mesh::Mesh;
+
+/// A decomposition of a set of elements into subdomains plus the
+/// subdomain adjacency needed to build mutexinoutset dependences.
+#[derive(Debug, Clone)]
+pub struct SubdomainDecomposition {
+    /// For each subdomain, the (global) element ids it owns, ascending.
+    pub members: Vec<Vec<u32>>,
+    /// For each subdomain, the subdomains sharing ≥ 1 mesh node with it
+    /// (excluding itself), ascending.
+    pub adjacency: Vec<Vec<u32>>,
+}
+
+impl SubdomainDecomposition {
+    pub fn num_subdomains(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Decompose the element set `elems` (global element ids into `mesh`)
+/// into `n_sub` subdomains, balancing per-element `weights`
+/// (`weights[i]` corresponds to `elems[i]`).
+///
+/// Returns the members (global ids) and the node-sharing adjacency
+/// between subdomains.
+pub fn decompose_subdomains(
+    mesh: &Mesh,
+    elems: &[u32],
+    weights: &[f64],
+    n_sub: usize,
+) -> SubdomainDecomposition {
+    assert_eq!(elems.len(), weights.len());
+    if elems.is_empty() {
+        return SubdomainDecomposition {
+            members: vec![Vec::new(); n_sub],
+            adjacency: vec![Vec::new(); n_sub],
+        };
+    }
+
+    let g = local_element_graph(mesh, elems, weights);
+    // node -> local elements touching it (restricted node-to-elem map),
+    // needed again below for the subdomain adjacency.
+    let node_elems = restricted_node_map(mesh, elems);
+    let part: Partition = partition_kway(&g, n_sub, 4);
+
+    // Members in global element ids.
+    let mut members = vec![Vec::new(); n_sub];
+    for (li, &p) in part.parts.iter().enumerate() {
+        members[p as usize].push(elems[li]);
+    }
+    for m in &mut members {
+        m.sort_unstable();
+    }
+
+    // Subdomain adjacency: two subdomains sharing ≥ 1 node.
+    let mut adjacency_sets: Vec<std::collections::BTreeSet<u32>> =
+        vec![Default::default(); n_sub];
+    for locals in node_elems.values() {
+        for i in 0..locals.len() {
+            for j in i + 1..locals.len() {
+                let (pi, pj) = (part.parts[locals[i] as usize], part.parts[locals[j] as usize]);
+                if pi != pj {
+                    adjacency_sets[pi as usize].insert(pj);
+                    adjacency_sets[pj as usize].insert(pi);
+                }
+            }
+        }
+    }
+    let adjacency = adjacency_sets
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect();
+
+    SubdomainDecomposition { members, adjacency }
+}
+
+/// Restricted node → local-element map: for each mesh node, the
+/// positions in `elems` of the listed elements touching it.
+fn restricted_node_map(
+    mesh: &Mesh,
+    elems: &[u32],
+) -> std::collections::HashMap<u32, Vec<u32>> {
+    let mut node_elems: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for (li, &e) in elems.iter().enumerate() {
+        for &v in mesh.elem_nodes(e as usize) {
+            node_elems.entry(v).or_default().push(li as u32);
+        }
+    }
+    node_elems
+}
+
+/// Build the element graph restricted to `elems` (local ids are
+/// positions in `elems`; edges connect elements sharing ≥ 1 mesh node) —
+/// the graph both the coloring strategy and the subdomain decomposition
+/// operate on inside one MPI domain.
+pub fn local_element_graph(mesh: &Mesh, elems: &[u32], weights: &[f64]) -> Graph {
+    let node_elems = restricted_node_map(mesh, elems);
+    let n = elems.len();
+    let mut adj_sets: Vec<std::collections::BTreeSet<u32>> = vec![Default::default(); n];
+    for locals in node_elems.values() {
+        for i in 0..locals.len() {
+            for j in i + 1..locals.len() {
+                adj_sets[locals[i] as usize].insert(locals[j]);
+                adj_sets[locals[j] as usize].insert(locals[i]);
+            }
+        }
+    }
+    let mut xadj = vec![0u32];
+    let mut adjncy = Vec::new();
+    for s in &adj_sets {
+        adjncy.extend(s.iter().copied());
+        xadj.push(adjncy.len() as u32);
+    }
+    Graph { xadj, adjncy, vwgt: weights.to_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpd_mesh::{generate_airway, AirwaySpec};
+
+    fn demo() -> (cfpd_mesh::Mesh, Vec<u32>, Vec<f64>) {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let n = am.mesh.num_elements();
+        let elems: Vec<u32> = (0..n as u32).collect();
+        let weights = am.mesh.cost_weights();
+        (am.mesh, elems, weights)
+    }
+
+    #[test]
+    fn members_partition_elements() {
+        let (mesh, elems, weights) = demo();
+        let d = decompose_subdomains(&mesh, &elems, &weights, 8);
+        let total: usize = d.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, elems.len());
+        let mut seen = vec![false; elems.len()];
+        for m in &d.members {
+            for &e in m {
+                assert!(!seen[e as usize]);
+                seen[e as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric_and_irreflexive() {
+        let (mesh, elems, weights) = demo();
+        let d = decompose_subdomains(&mesh, &elems, &weights, 8);
+        for (s, neigh) in d.adjacency.iter().enumerate() {
+            for &t in neigh {
+                assert_ne!(t as usize, s, "self adjacency");
+                assert!(
+                    d.adjacency[t as usize].contains(&(s as u32)),
+                    "asymmetric adjacency {s} -> {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_subdomains_share_a_node_nonadjacent_dont() {
+        let (mesh, elems, weights) = demo();
+        let d = decompose_subdomains(&mesh, &elems, &weights, 6);
+        // Collect node sets per subdomain.
+        let node_sets: Vec<std::collections::HashSet<u32>> = d
+            .members
+            .iter()
+            .map(|m| {
+                m.iter()
+                    .flat_map(|&e| mesh.elem_nodes(e as usize).iter().copied())
+                    .collect()
+            })
+            .collect();
+        for s in 0..d.num_subdomains() {
+            for t in s + 1..d.num_subdomains() {
+                let shares = !node_sets[s].is_disjoint(&node_sets[t]);
+                let adj = d.adjacency[s].contains(&(t as u32));
+                assert_eq!(shares, adj, "subdomains {s},{t}: shares={shares} adj={adj}");
+            }
+        }
+    }
+
+    #[test]
+    fn subset_of_elements_supported() {
+        // Decompose only half the mesh (as a rank-local domain would).
+        let (mesh, elems, weights) = demo();
+        let half = elems.len() / 2;
+        let d = decompose_subdomains(&mesh, &elems[..half], &weights[..half], 4);
+        let total: usize = d.members.iter().map(|m| m.len()).sum();
+        assert_eq!(total, half);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (mesh, _, _) = demo();
+        let d = decompose_subdomains(&mesh, &[], &[], 4);
+        assert_eq!(d.num_subdomains(), 4);
+        assert!(d.members.iter().all(|m| m.is_empty()));
+    }
+}

@@ -1,0 +1,556 @@
+//! Scenario builders: turn measured per-rank workloads into DES rank
+//! programs for the paper's two execution modes (Fig. 3) — synchronous
+//! (all ranks solve fluid then particles) and coupled (an f-rank fluid
+//! code feeding a p-rank particle code through a velocity exchange).
+
+use crate::des::{simulate, DesConfig, DesResult, RankProgram, Segment};
+use crate::platform::Platform;
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::Phase;
+
+/// How a phase's cost responds to the assembly parallelization strategy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Sensitivity {
+    /// Unaffected (solvers, particle transport).
+    None,
+    /// Racy element loop: pays the strategy's IPC factor plus per-color
+    /// or per-task scheduling overheads (`colors`, `tasks` per rank).
+    Assembly { colors: usize, tasks: usize },
+    /// Race-free element loop (the SGS phase): needs no atomics, so the
+    /// Atomics strategy runs at full speed, while coloring/multidep
+    /// still pay their locality/scheduling overheads (paper Fig. 7).
+    Sgs { colors: usize, tasks: usize },
+}
+
+/// Per-rank work of a phase: constant across steps, or one vector per
+/// step (the particle phase drifts as particles advect deeper).
+#[derive(Debug, Clone)]
+pub enum WorkProfile {
+    Static(Vec<f64>),
+    PerStep(Vec<Vec<f64>>),
+}
+
+impl WorkProfile {
+    /// Number of ranks this profile describes.
+    pub fn ranks(&self) -> usize {
+        match self {
+            WorkProfile::Static(v) => v.len(),
+            WorkProfile::PerStep(vs) => vs.first().map_or(0, |v| v.len()),
+        }
+    }
+
+    /// Work vector at `step` (PerStep profiles clamp to the last step).
+    pub fn at(&self, step: usize) -> &[f64] {
+        match self {
+            WorkProfile::Static(v) => v,
+            WorkProfile::PerStep(vs) => &vs[step.min(vs.len() - 1)],
+        }
+    }
+}
+
+/// One phase of the step with its per-rank work profile.
+#[derive(Debug, Clone)]
+pub struct PhaseSpec {
+    pub phase: Phase,
+    /// Work units per rank (length = number of ranks in the group).
+    pub work: WorkProfile,
+    pub sensitivity: Sensitivity,
+}
+
+impl PhaseSpec {
+    /// Constant-per-step phase.
+    pub fn fixed(phase: Phase, per_rank: Vec<f64>, sensitivity: Sensitivity) -> PhaseSpec {
+        PhaseSpec { phase, work: WorkProfile::Static(per_rank), sensitivity }
+    }
+
+    /// Phase whose per-rank work changes each step.
+    pub fn per_step(phase: Phase, per_step: Vec<Vec<f64>>, sensitivity: Sensitivity) -> PhaseSpec {
+        PhaseSpec { phase, work: WorkProfile::PerStep(per_step), sensitivity }
+    }
+}
+
+/// Rank-to-node placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mapping {
+    /// Ranks 0..k on node 0, etc. (default MPI placement).
+    Block,
+    /// Rank r on node r % nodes — mixes the two coupled codes on every
+    /// node, giving DLB cross-code lending opportunities.
+    RoundRobin,
+}
+
+impl Mapping {
+    fn node_of(self, rank: usize, ranks: usize, nodes: usize) -> usize {
+        match self {
+            Mapping::Block => rank / ranks.div_ceil(nodes),
+            Mapping::RoundRobin => rank % nodes,
+        }
+    }
+}
+
+/// A synchronous-mode scenario (one group of `ranks()` ranks running all
+/// phases each step).
+#[derive(Debug, Clone)]
+pub struct SyncScenario {
+    pub platform: Platform,
+    pub phases: Vec<PhaseSpec>,
+    pub steps: usize,
+    /// OpenMP threads (cores owned) per rank.
+    pub threads_per_rank: usize,
+    pub strategy: AssemblyStrategy,
+    pub dlb: bool,
+    pub mapping: Mapping,
+}
+
+impl SyncScenario {
+    pub fn ranks(&self) -> usize {
+        self.phases.first().map_or(0, |p| p.work.ranks())
+    }
+
+    /// Build rank programs and simulate.
+    pub fn run(&self) -> DesResult {
+        let n = self.ranks();
+        assert!(n > 0, "scenario needs at least one rank");
+        for p in &self.phases {
+            assert_eq!(p.work.ranks(), n, "inconsistent rank counts");
+        }
+        let nodes = self.platform.nodes;
+        let ranks_per_node = n.div_ceil(nodes);
+        let owned =
+            (self.platform.cores_per_node as f64 / ranks_per_node as f64).min(self.threads_per_rank as f64);
+        let comm_work = self.platform.comm_latency * self.platform.core_speed();
+
+        let mut programs: Vec<RankProgram> = (0..n)
+            .map(|r| RankProgram {
+                node: self.mapping.node_of(r, n, nodes),
+                owned_cores: owned,
+                segments: Vec::new(),
+            })
+            .collect();
+        let mut signal = 0u32;
+        for step in 0..self.steps {
+            for spec in &self.phases {
+                let (work_scale, overhead) = strategy_cost(
+                    &self.platform,
+                    self.strategy,
+                    spec.sensitivity,
+                    self.threads_per_rank,
+                );
+                signal += 1;
+                let work = spec.work.at(step);
+                for (r, prog) in programs.iter_mut().enumerate() {
+                    let amount = work[r] * work_scale;
+                    if amount > 0.0 {
+                        prog.segments.push(Segment::Work {
+                            phase: spec.phase,
+                            amount,
+                            malleable: true,
+                        });
+                    }
+                    if overhead > 0.0 {
+                        prog.segments.push(Segment::Work {
+                            phase: spec.phase,
+                            amount: overhead * self.platform.core_speed(),
+                            malleable: false,
+                        });
+                    }
+                    // End-of-phase synchronization (allreduce/barrier).
+                    prog.segments.push(Segment::Work {
+                        phase: Phase::MpiComm,
+                        amount: comm_work,
+                        malleable: false,
+                    });
+                    prog.segments.push(Segment::Post { id: signal });
+                    prog.segments.push(Segment::Wait { id: signal, count: n as u32 });
+                }
+            }
+        }
+        simulate(
+            &programs,
+            &DesConfig {
+                core_speed: self.platform.core_speed(),
+                dlb: self.dlb,
+                efficiency_loss: self.platform.thread_efficiency_loss,
+            },
+        )
+    }
+}
+
+/// A coupled-mode scenario: `fluid` group of f ranks and `particles`
+/// group of p ranks; each step the particle group consumes the velocity
+/// field the fluid group produced for that step (one-way pipeline,
+/// Fig. 3 bottom).
+#[derive(Debug, Clone)]
+pub struct CoupledScenario {
+    pub platform: Platform,
+    /// Fluid-group phases (per-rank work vectors of length f).
+    pub fluid_phases: Vec<PhaseSpec>,
+    /// Particle-group phases (length p).
+    pub particle_phases: Vec<PhaseSpec>,
+    pub steps: usize,
+    pub threads_per_rank: usize,
+    pub strategy: AssemblyStrategy,
+    pub dlb: bool,
+    pub mapping: Mapping,
+}
+
+impl CoupledScenario {
+    pub fn fluid_ranks(&self) -> usize {
+        self.fluid_phases.first().map_or(0, |p| p.work.ranks())
+    }
+
+    pub fn particle_ranks(&self) -> usize {
+        self.particle_phases.first().map_or(0, |p| p.work.ranks())
+    }
+
+    pub fn run(&self) -> DesResult {
+        let f = self.fluid_ranks();
+        let p = self.particle_ranks();
+        assert!(f > 0 && p > 0, "coupled mode needs both groups");
+        let n = f + p;
+        let nodes = self.platform.nodes;
+        let ranks_per_node = n.div_ceil(nodes);
+        // Oversubscription (e.g. 96+96 on 96 cores) yields fractional
+        // core ownership — the time-sharing cost the paper's "bad user
+        // choices" pay.
+        let owned = (self.platform.cores_per_node as f64 / ranks_per_node as f64)
+            .min(self.threads_per_rank as f64);
+        let comm_work = self.platform.comm_latency * self.platform.core_speed();
+        let speed = self.platform.core_speed();
+
+        let mut programs: Vec<RankProgram> = (0..n)
+            .map(|r| RankProgram {
+                node: self.mapping.node_of(r, n, nodes),
+                owned_cores: owned,
+                segments: Vec::new(),
+            })
+            .collect();
+
+        // Signal space: per step, id = base + step*K + k.
+        let vel_signal = |step: usize| 1_000_000 + step as u32;
+        let mut signal = 0u32;
+        for step in 0..self.steps {
+            // Fluid group: all fluid phases, group barrier per phase,
+            // then post the velocity for this step.
+            for spec in &self.fluid_phases {
+                let (scale, overhead) =
+                    strategy_cost(&self.platform, self.strategy, spec.sensitivity, self.threads_per_rank);
+                signal += 1;
+                let work = spec.work.at(step);
+                for (i, prog) in programs.iter_mut().take(f).enumerate() {
+                    let amount = work[i] * scale;
+                    if amount > 0.0 {
+                        prog.segments.push(Segment::Work { phase: spec.phase, amount, malleable: true });
+                    }
+                    if overhead > 0.0 {
+                        prog.segments.push(Segment::Work {
+                            phase: spec.phase,
+                            amount: overhead * speed,
+                            malleable: false,
+                        });
+                    }
+                    prog.segments.push(Segment::Work { phase: Phase::MpiComm, amount: comm_work, malleable: false });
+                    prog.segments.push(Segment::Post { id: signal });
+                    prog.segments.push(Segment::Wait { id: signal, count: f as u32 });
+                }
+            }
+            for prog in programs.iter_mut().take(f) {
+                prog.segments.push(Segment::Post { id: vel_signal(step) });
+            }
+
+            // Particle group: wait for this step's velocity, then the
+            // particle phases with a group barrier each.
+            for (k, spec) in self.particle_phases.iter().enumerate() {
+                signal += 1;
+                let work = spec.work.at(step);
+                for (i, prog) in programs.iter_mut().skip(f).enumerate() {
+                    if k == 0 {
+                        prog.segments.push(Segment::Wait { id: vel_signal(step), count: f as u32 });
+                    }
+                    let amount = work[i];
+                    if amount > 0.0 {
+                        prog.segments.push(Segment::Work { phase: spec.phase, amount, malleable: true });
+                    }
+                    prog.segments.push(Segment::Work { phase: Phase::MpiComm, amount: comm_work, malleable: false });
+                    prog.segments.push(Segment::Post { id: signal });
+                    prog.segments.push(Segment::Wait { id: signal, count: p as u32 });
+                }
+            }
+        }
+
+        simulate(
+            &programs,
+            &DesConfig {
+                core_speed: speed,
+                dlb: self.dlb,
+                efficiency_loss: self.platform.thread_efficiency_loss,
+            },
+        )
+    }
+}
+
+/// Work multiplier and per-rank serial overhead [s] of running a phase
+/// under a strategy.
+fn strategy_cost(
+    platform: &Platform,
+    strategy: AssemblyStrategy,
+    sensitivity: Sensitivity,
+    threads: usize,
+) -> (f64, f64) {
+    let overhead_of = |colors: usize, tasks: usize| match strategy {
+        AssemblyStrategy::Serial | AssemblyStrategy::Atomics => 0.0,
+        AssemblyStrategy::Coloring => colors as f64 * platform.color_barrier_cost,
+        AssemblyStrategy::Multidep => {
+            tasks as f64 * platform.task_spawn_cost / threads.max(1) as f64
+        }
+    };
+    match sensitivity {
+        Sensitivity::None => (1.0, 0.0),
+        Sensitivity::Assembly { colors, tasks } => (
+            1.0 / platform.strategy_ipc_factor(strategy),
+            overhead_of(colors, tasks),
+        ),
+        Sensitivity::Sgs { colors, tasks } => {
+            // No race to protect: the Atomics variant is a plain loop.
+            // Coloring's locality loss is also milder than in assembly —
+            // SGS has no matrix scatter, only the element-data gather
+            // side suffers — modeled as half the (log-scale) penalty,
+            // i.e. the square root of the assembly factor. This keeps
+            // the paper's "overhead below 10 %" observation (Fig. 7).
+            let scale = match strategy {
+                AssemblyStrategy::Serial | AssemblyStrategy::Atomics => 1.0,
+                AssemblyStrategy::Coloring => {
+                    1.0 / platform.strategy_ipc_factor(AssemblyStrategy::Coloring).sqrt()
+                }
+                AssemblyStrategy::Multidep => {
+                    1.0 / platform.strategy_ipc_factor(AssemblyStrategy::Multidep)
+                }
+            };
+            (scale, overhead_of(colors, tasks))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat_phase(phase: Phase, n: usize, w: f64) -> PhaseSpec {
+        PhaseSpec::fixed(phase, vec![w; n], Sensitivity::None)
+    }
+
+    fn asm_phase(n: usize, w: f64) -> PhaseSpec {
+        PhaseSpec::fixed(
+            Phase::Assembly,
+            vec![w; n],
+            Sensitivity::Assembly { colors: 20, tasks: 64 },
+        )
+    }
+
+    fn base_sync(n: usize) -> SyncScenario {
+        SyncScenario {
+            platform: Platform::mare_nostrum4(),
+            phases: vec![asm_phase(n, 1e6), flat_phase(Phase::Particles, n, 1e5)],
+            steps: 2,
+            threads_per_rank: 1,
+            strategy: AssemblyStrategy::Serial,
+            dlb: false,
+            mapping: Mapping::Block,
+        }
+    }
+
+    #[test]
+    fn sync_scenario_runs_and_traces() {
+        let s = base_sync(8);
+        let r = s.run();
+        assert!(r.total_time > 0.0);
+        assert!(!r.trace.events.is_empty());
+        // Both phases appear in the trace.
+        assert!(r.trace.per_rank_time(Phase::Assembly)[0] > 0.0);
+        assert!(r.trace.per_rank_time(Phase::Particles)[0] > 0.0);
+    }
+
+    #[test]
+    fn atomics_strategy_slower_than_serial_baseline() {
+        let mut s = base_sync(8);
+        let t_serial = s.run().total_time;
+        s.strategy = AssemblyStrategy::Atomics;
+        let t_atomics = s.run().total_time;
+        assert!(t_atomics > t_serial, "{t_atomics} vs {t_serial}");
+    }
+
+    #[test]
+    fn multidep_close_to_serial() {
+        let mut s = base_sync(8);
+        let t_serial = s.run().total_time;
+        s.strategy = AssemblyStrategy::Multidep;
+        let t_md = s.run().total_time;
+        assert!(t_md < t_serial * 1.15, "{t_md} vs {t_serial}");
+    }
+
+    #[test]
+    fn dlb_helps_imbalanced_sync_run() {
+        let n = 8;
+        let mut work = vec![1e5; n];
+        work[0] = 1e7; // one overloaded rank
+        let mut s = base_sync(n);
+        s.phases = vec![PhaseSpec::fixed(Phase::Particles, work, Sensitivity::None)];
+        let t_orig = s.run().total_time;
+        s.dlb = true;
+        let t_dlb = s.run().total_time;
+        assert!(
+            t_dlb < t_orig * 0.5,
+            "DLB should at least halve an extreme imbalance: {t_dlb} vs {t_orig}"
+        );
+    }
+
+    #[test]
+    fn dlb_never_hurts_balanced_run() {
+        let mut s = base_sync(8);
+        let t_orig = s.run().total_time;
+        s.dlb = true;
+        let t_dlb = s.run().total_time;
+        assert!(t_dlb <= t_orig * 1.0001, "{t_dlb} vs {t_orig}");
+    }
+
+    #[test]
+    fn sgs_sensitivity_atomics_is_free() {
+        // In the SGS phase the Atomics strategy is a plain loop: same
+        // time as Serial; Coloring/Multidep pay overhead.
+        let mut s = base_sync(8);
+        s.phases = vec![PhaseSpec::fixed(
+            Phase::Sgs,
+            vec![1e6; 8],
+            Sensitivity::Sgs { colors: 20, tasks: 64 },
+        )];
+        let t_serial = s.run().total_time;
+        s.strategy = AssemblyStrategy::Atomics;
+        let t_atomics = s.run().total_time;
+        assert!((t_atomics - t_serial).abs() < 1e-12 * t_serial.max(1.0));
+        s.strategy = AssemblyStrategy::Coloring;
+        let t_color = s.run().total_time;
+        assert!(t_color > t_atomics);
+        // ... but by less than the assembly-phase coloring penalty.
+        let mut asm = base_sync(8);
+        asm.strategy = AssemblyStrategy::Coloring;
+        asm.phases = vec![PhaseSpec::fixed(
+            Phase::Sgs,
+            vec![1e6; 8],
+            Sensitivity::Assembly { colors: 20, tasks: 64 },
+        )];
+        let t_asm_penalty = asm.run().total_time;
+        assert!(t_color < t_asm_penalty);
+    }
+
+    #[test]
+    fn per_step_work_profile_clamps_to_last() {
+        let profile = WorkProfile::PerStep(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(profile.ranks(), 2);
+        assert_eq!(profile.at(0), &[1.0, 2.0]);
+        assert_eq!(profile.at(1), &[3.0, 4.0]);
+        assert_eq!(profile.at(99), &[3.0, 4.0], "clamps to last step");
+    }
+
+    #[test]
+    fn per_step_particle_phase_drives_time() {
+        // A per-step particle profile that doubles each step must yield
+        // a longer run than its first-step value held constant.
+        let plat = Platform::mare_nostrum4();
+        let mk = |phases: Vec<PhaseSpec>| SyncScenario {
+            platform: plat.clone(),
+            phases,
+            steps: 3,
+            threads_per_rank: 1,
+            strategy: AssemblyStrategy::Serial,
+            dlb: false,
+            mapping: Mapping::Block,
+        };
+        let growing = mk(vec![PhaseSpec::per_step(
+            Phase::Particles,
+            vec![vec![1e5; 4], vec![2e5; 4], vec![4e5; 4]],
+            Sensitivity::None,
+        )]);
+        let flat = mk(vec![PhaseSpec::fixed(
+            Phase::Particles,
+            vec![1e5; 4],
+            Sensitivity::None,
+        )]);
+        assert!(growing.run().total_time > flat.run().total_time * 2.0);
+    }
+
+    #[test]
+    fn coupled_overlaps_fluid_and_particles() {
+        let plat = Platform::mare_nostrum4();
+        let f = 4;
+        let p = 4;
+        let coupled = CoupledScenario {
+            platform: plat.clone(),
+            fluid_phases: vec![flat_phase(Phase::Assembly, f, 1e6)],
+            particle_phases: vec![flat_phase(Phase::Particles, p, 1e6)],
+            steps: 4,
+            threads_per_rank: 1,
+            strategy: AssemblyStrategy::Serial,
+            dlb: false,
+            mapping: Mapping::RoundRobin,
+        };
+        let t_coupled = coupled.run().total_time;
+        // Equivalent synchronous run: same total work on f+p ranks, but
+        // phases serialized. Per-rank work halves (n ranks vs f).
+        let sync = SyncScenario {
+            platform: plat,
+            phases: vec![
+                flat_phase(Phase::Assembly, f + p, 5e5),
+                flat_phase(Phase::Particles, f + p, 5e5),
+            ],
+            steps: 4,
+            threads_per_rank: 1,
+            strategy: AssemblyStrategy::Serial,
+            dlb: false,
+            mapping: Mapping::Block,
+        };
+        let t_sync = sync.run().total_time;
+        // With perfect balance both should be in the same ballpark; the
+        // coupled one pipelines, the sync one uses all ranks per phase.
+        assert!(t_coupled < t_sync * 3.0 && t_sync < t_coupled * 3.0);
+    }
+
+    #[test]
+    fn coupled_dlb_rescues_bad_split() {
+        // Overloaded particle group (tiny p) with idle fluid ranks
+        // co-resident: DLB lends fluid cores during the particle phase.
+        let plat = Platform::mare_nostrum4();
+        let f = 6;
+        let p = 2;
+        let mk = |dlb: bool| CoupledScenario {
+            platform: plat.clone(),
+            fluid_phases: vec![flat_phase(Phase::Assembly, f, 1e5)],
+            particle_phases: vec![flat_phase(Phase::Particles, p, 4e6)],
+            steps: 3,
+            threads_per_rank: 1,
+            strategy: AssemblyStrategy::Serial,
+            dlb,
+            mapping: Mapping::RoundRobin,
+        };
+        let t_orig = mk(false).run().total_time;
+        let t_dlb = mk(true).run().total_time;
+        assert!(t_dlb < t_orig * 0.7, "{t_dlb} vs {t_orig}");
+    }
+
+    #[test]
+    fn oversubscribed_coupled_run_slower() {
+        let plat = Platform::mare_nostrum4(); // 96 cores
+        let mk = |f: usize, p: usize| CoupledScenario {
+            platform: plat.clone(),
+            fluid_phases: vec![flat_phase(Phase::Assembly, f, 4.8e6 / f as f64)],
+            particle_phases: vec![flat_phase(Phase::Particles, p, 4.8e6 / p as f64)],
+            steps: 2,
+            threads_per_rank: 1,
+            strategy: AssemblyStrategy::Serial,
+            dlb: false,
+            mapping: Mapping::RoundRobin,
+        };
+        let fit = mk(48, 48).run().total_time; // exactly 96 ranks
+        let over = mk(96, 96).run().total_time; // 192 ranks on 96 cores
+        assert!(over > fit, "oversubscribed {over} vs fitting {fit}");
+    }
+}

@@ -1,0 +1,23 @@
+//! # cfpd-runtime — a task-based shared-memory runtime (OmpSs substitute)
+//!
+//! The paper's second level of parallelism is OmpSs/OpenMP. Its two key
+//! features for this study are (1) a worker pool whose size can be
+//! changed by the DLB library (`omp_set_num_threads` via
+//! [`ThreadPool::set_active`]) and (2) OpenMP 5.0 *multidependences*:
+//! dependence lists computed at runtime plus the `mutexinoutset`
+//! relationship ([`taskgraph`]). Both are implemented here from scratch
+//! on `parking_lot` primitives.
+//!
+//! The three matrix-assembly parallelization strategies of the paper's
+//! Fig. 4 (atomics / coloring / multidependences) are built on these
+//! primitives in `cfpd-solver::assembly`.
+
+pub mod parallel_for;
+pub mod pool;
+pub mod reduce;
+pub mod taskgraph;
+
+pub use parallel_for::{parallel_for, parallel_for_with_tid};
+pub use reduce::{parallel_dot, parallel_for_static, parallel_reduce};
+pub use pool::ThreadPool;
+pub use taskgraph::{Dep, DepKind, ExecStats, TaskGraph, TaskId};

@@ -1,0 +1,405 @@
+//! Communicators: typed point-to-point messaging and collectives over
+//! ranks-as-threads.
+//!
+//! Semantics follow MPI where it matters for the reproduction:
+//! `send` is asynchronous (buffered), `recv` blocks until a matching
+//! (source, tag) message arrives, collectives block all participants,
+//! and `split` creates disjoint sub-communicators — the mechanism the
+//! coupled fluid/particle execution mode uses (Fig. 3).
+
+use crate::hooks::{BlockKind, MpiHooks, NoHooks};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// How long a blocking operation may wait before the universe declares a
+/// deadlock (tests rely on this to fail fast instead of hanging).
+pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+type Payload = Box<dyn Any + Send>;
+
+struct Msg {
+    src: usize,
+    tag: u64,
+    payload: Payload,
+}
+
+#[derive(Default)]
+struct Inbox {
+    queue: Mutex<Vec<Msg>>,
+    cv: Condvar,
+}
+
+/// Shared state of one communicator.
+pub(crate) struct CommState {
+    inboxes: Vec<Inbox>,
+}
+
+impl CommState {
+    pub(crate) fn new(size: usize) -> Arc<CommState> {
+        Arc::new(CommState { inboxes: (0..size).map(|_| Inbox::default()).collect() })
+    }
+}
+
+/// A communicator handle held by one rank.
+///
+/// Cloneable only through [`Comm::split`]; each rank keeps exactly one
+/// handle per communicator, mirroring MPI usage.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    /// Rank in the top-level universe (used for hook reporting so DLB
+    /// can map blocked ranks to node-local core owners).
+    global_rank: usize,
+    state: Arc<CommState>,
+    hooks: Arc<dyn MpiHooks>,
+}
+
+/// Reduction operators for the `allreduce` family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    Sum,
+    Max,
+    Min,
+}
+
+impl ReduceOp {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ReduceOp::Sum => a + b,
+            ReduceOp::Max => a.max(b),
+            ReduceOp::Min => a.min(b),
+        }
+    }
+}
+
+impl Comm {
+    pub(crate) fn new(
+        rank: usize,
+        size: usize,
+        global_rank: usize,
+        state: Arc<CommState>,
+        hooks: Arc<dyn MpiHooks>,
+    ) -> Comm {
+        Comm { rank, size, global_rank, state, hooks }
+    }
+
+    /// Duplicate this handle (same communicator, same rank) — used by
+    /// nonblocking helpers that park in a receive on another thread.
+    pub(crate) fn clone_handle(&self) -> Comm {
+        Comm {
+            rank: self.rank,
+            size: self.size,
+            global_rank: self.global_rank,
+            state: Arc::clone(&self.state),
+            hooks: Arc::clone(&self.hooks),
+        }
+    }
+
+    /// Standalone single-rank communicator (useful in unit tests of
+    /// higher layers that need a `Comm` but no communication).
+    pub fn solo() -> Comm {
+        Comm::new(0, 1, 0, CommState::new(1), Arc::new(NoHooks))
+    }
+
+    /// This rank's id within the communicator.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    #[inline]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Rank id in the top-level universe.
+    #[inline]
+    pub fn global_rank(&self) -> usize {
+        self.global_rank
+    }
+
+    /// Buffered asynchronous send of any `Send` value to `dest`.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
+        assert!(dest < self.size, "send to rank {dest} of {}", self.size);
+        let inbox = &self.state.inboxes[dest];
+        inbox.queue.lock().push(Msg { src: self.rank, tag, payload: Box::new(value) });
+        inbox.cv.notify_all();
+    }
+
+    /// Blocking receive of the next message from `src` with tag `tag`.
+    /// Panics if the payload type does not match `T` (a programming
+    /// error in the protocol) or on deadlock timeout.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let inbox = &self.state.inboxes[self.rank];
+        let mut queue = inbox.queue.lock();
+        let mut blocked = false;
+        loop {
+            if let Some(pos) = queue.iter().position(|m| m.src == src && m.tag == tag) {
+                let msg = queue.remove(pos);
+                drop(queue);
+                if blocked {
+                    self.hooks.on_unblock(self.global_rank, BlockKind::Recv);
+                }
+                return *msg.payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!("rank {}: recv type mismatch from {src} tag {tag}", self.rank)
+                });
+            }
+            if !blocked {
+                blocked = true;
+                self.hooks.on_block(self.global_rank, BlockKind::Recv);
+            }
+            if inbox.cv.wait_for(&mut queue, DEADLOCK_TIMEOUT).timed_out() {
+                panic!(
+                    "rank {}: deadlock waiting for message from {src} tag {tag}",
+                    self.rank
+                );
+            }
+        }
+    }
+
+    /// Barrier across all ranks of the communicator (dissemination over
+    /// point-to-point messages; correctness over cleverness).
+    pub fn barrier(&self) {
+        self.barrier_tagged(u64::MAX - 1);
+    }
+
+    fn barrier_tagged(&self, tag: u64) {
+        // Dissemination barrier: log2(size) rounds.
+        let mut round = 1usize;
+        while round < self.size {
+            let dest = (self.rank + round) % self.size;
+            let src = (self.rank + self.size - round) % self.size;
+            self.send(dest, tag.wrapping_add(round as u64), ());
+            self.recv::<()>(src, tag.wrapping_add(round as u64));
+            round *= 2;
+        }
+    }
+
+    /// All-reduce a scalar.
+    pub fn allreduce_f64(&self, value: f64, op: ReduceOp) -> f64 {
+        let mut buf = [value];
+        self.allreduce_slice_f64(&mut buf, op);
+        buf[0]
+    }
+
+    /// All-reduce a slice in place (every rank ends with the reduction).
+    pub fn allreduce_slice_f64(&self, values: &mut [f64], op: ReduceOp) {
+        const TAG: u64 = u64::MAX - 2;
+        // Reduce to rank 0, then broadcast.
+        if self.rank == 0 {
+            for src in 1..self.size {
+                let part: Vec<f64> = self.recv(src, TAG);
+                assert_eq!(part.len(), values.len(), "allreduce length mismatch");
+                for (v, p) in values.iter_mut().zip(part) {
+                    *v = op.apply(*v, p);
+                }
+            }
+            for dest in 1..self.size {
+                self.send(dest, TAG, values.to_vec());
+            }
+        } else {
+            self.send(0, TAG, values.to_vec());
+            let result: Vec<f64> = self.recv(0, TAG);
+            values.copy_from_slice(&result);
+        }
+    }
+
+    /// Broadcast a cloneable value from `root` to every rank; each rank
+    /// returns its copy.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, value: Option<T>) -> T {
+        const TAG: u64 = u64::MAX - 3;
+        if self.rank == root {
+            let v = value.expect("root must provide the broadcast value");
+            for dest in 0..self.size {
+                if dest != root {
+                    self.send(dest, TAG, v.clone());
+                }
+            }
+            v
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+
+    /// Gather one value per rank at `root` (ordered by rank); non-roots
+    /// get `None`.
+    pub fn gather<T: Send + 'static>(&self, root: usize, value: T) -> Option<Vec<T>> {
+        const TAG: u64 = u64::MAX - 4;
+        if self.rank == root {
+            let mut out: Vec<Option<T>> = (0..self.size).map(|_| None).collect();
+            out[root] = Some(value);
+            for src in 0..self.size {
+                if src != root {
+                    out[src] = Some(self.recv(src, TAG));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send(root, TAG, value);
+            None
+        }
+    }
+
+    /// All-gather: every rank receives the vector of all ranks' values.
+    pub fn allgather<T: Clone + Send + 'static>(&self, value: T) -> Vec<T> {
+        let gathered = self.gather(0, value);
+        self.bcast(0, gathered)
+    }
+
+    /// Split into sub-communicators by `color`; ranks of equal color form
+    /// a new communicator ordered by `key` (ties by old rank). All ranks
+    /// must call `split` collectively.
+    pub fn split(&self, color: usize, key: usize) -> Comm {
+        const TAG: u64 = u64::MAX - 5;
+        // Rank 0 collects (color, key), forms groups, creates the shared
+        // states and distributes (new_rank, new_size, Arc<CommState>).
+        let pairs = self.gather(0, (color, key, self.rank));
+        if self.rank == 0 {
+            let mut pairs = pairs.unwrap();
+            pairs.sort_by_key(|&(c, k, r)| (c, k, r));
+            let mut i = 0usize;
+            while i < pairs.len() {
+                let c = pairs[i].0;
+                let mut group = Vec::new();
+                while i < pairs.len() && pairs[i].0 == c {
+                    group.push(pairs[i].2);
+                    i += 1;
+                }
+                let state = CommState::new(group.len());
+                for (new_rank, &old_rank) in group.iter().enumerate() {
+                    self.send(old_rank, TAG, (new_rank, group.len(), Arc::clone(&state)));
+                }
+            }
+        }
+        let (new_rank, new_size, state): (usize, usize, Arc<CommState>) = self.recv(0, TAG);
+        Comm::new(new_rank, new_size, self.global_rank, state, Arc::clone(&self.hooks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::universe::Universe;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 7, vec![1.0f64, 2.0, 3.0]);
+            } else {
+                let v: Vec<f64> = comm.recv(0, 7);
+                assert_eq!(v, vec![1.0, 2.0, 3.0]);
+            }
+        });
+    }
+
+    #[test]
+    fn recv_matches_tag_out_of_order() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 1, 10u32);
+                comm.send(1, 2, 20u32);
+            } else {
+                // Receive tag 2 first even though tag 1 arrived earlier.
+                let b: u32 = comm.recv(0, 2);
+                let a: u32 = comm.recv(0, 1);
+                assert_eq!((a, b), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn barrier_synchronizes() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&counter);
+        Universe::run(4, move |comm| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            comm.barrier();
+            // After the barrier, every rank must observe all 4 arrivals.
+            assert_eq!(c2.load(Ordering::SeqCst), 4);
+        });
+    }
+
+    #[test]
+    fn allreduce_sum_max_min() {
+        Universe::run(5, |comm| {
+            let r = comm.rank() as f64;
+            assert_eq!(comm.allreduce_f64(r, ReduceOp::Sum), 10.0);
+            assert_eq!(comm.allreduce_f64(r, ReduceOp::Max), 4.0);
+            assert_eq!(comm.allreduce_f64(r, ReduceOp::Min), 0.0);
+        });
+    }
+
+    #[test]
+    fn allreduce_slice() {
+        Universe::run(3, |comm| {
+            let mut v = vec![comm.rank() as f64, 1.0];
+            comm.allreduce_slice_f64(&mut v, ReduceOp::Sum);
+            assert_eq!(v, vec![3.0, 3.0]);
+        });
+    }
+
+    #[test]
+    fn bcast_from_nonzero_root() {
+        Universe::run(4, |comm| {
+            let v = if comm.rank() == 2 { Some(vec![9u8, 8]) } else { None };
+            let got = comm.bcast(2, v);
+            assert_eq!(got, vec![9, 8]);
+        });
+    }
+
+    #[test]
+    fn gather_and_allgather() {
+        Universe::run(4, |comm| {
+            let g = comm.gather(1, comm.rank() as u32 * 10);
+            if comm.rank() == 1 {
+                assert_eq!(g.unwrap(), vec![0, 10, 20, 30]);
+            } else {
+                assert!(g.is_none());
+            }
+            let all = comm.allgather(comm.rank() as u32);
+            assert_eq!(all, vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn split_groups_by_color() {
+        Universe::run(6, |comm| {
+            let color = comm.rank() % 2;
+            let sub = comm.split(color, comm.rank());
+            assert_eq!(sub.size(), 3);
+            // Even ranks 0,2,4 -> new ranks 0,1,2; odds likewise.
+            assert_eq!(sub.rank(), comm.rank() / 2);
+            // Sub-communicator collectives stay within the group.
+            let sum = sub.allreduce_f64(comm.rank() as f64, ReduceOp::Sum);
+            let expected = if color == 0 { 0.0 + 2.0 + 4.0 } else { 1.0 + 3.0 + 5.0 };
+            assert_eq!(sum, expected);
+        });
+    }
+
+    #[test]
+    fn solo_comm() {
+        let c = Comm::solo();
+        assert_eq!(c.size(), 1);
+        assert_eq!(c.allreduce_f64(5.0, ReduceOp::Sum), 5.0);
+        c.barrier();
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn type_mismatch_panics() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1u32);
+            } else {
+                let _: f64 = comm.recv(0, 0);
+            }
+        });
+    }
+}

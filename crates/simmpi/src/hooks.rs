@@ -1,0 +1,55 @@
+//! PMPI-style interception hooks.
+//!
+//! The DLB library of the paper is *transparent to the application*: it
+//! hooks the entry/exit of blocking MPI calls via the PMPI profiling
+//! interface and lends/reclaims cores there (§3.2). `cfpd-simmpi`
+//! reproduces that interception surface: every blocking wait inside a
+//! communicator operation fires [`MpiHooks::on_block`] before parking
+//! and [`MpiHooks::on_unblock`] after resuming.
+
+/// Kind of blocking call being entered (mirrors the MPI entry points the
+/// DLB PMPI layer intercepts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BlockKind {
+    /// Blocking receive.
+    Recv,
+    /// Barrier wait.
+    Barrier,
+    /// Collective wait (reduce / gather / bcast internals).
+    Collective,
+}
+
+/// Interception interface. Implementations must be cheap and re-entrant:
+/// they are called from every rank thread on every blocking call.
+pub trait MpiHooks: Send + Sync {
+    /// The universe-global rank `rank` is about to block in `kind`.
+    fn on_block(&self, rank: usize, kind: BlockKind);
+    /// The universe-global rank `rank` resumed from a blocking call.
+    fn on_unblock(&self, rank: usize, kind: BlockKind);
+}
+
+/// No-op hooks (the default when DLB is disabled).
+#[derive(Debug, Default)]
+pub struct NoHooks;
+
+impl MpiHooks for NoHooks {
+    fn on_block(&self, _rank: usize, _kind: BlockKind) {}
+    fn on_unblock(&self, _rank: usize, _kind: BlockKind) {}
+}
+
+/// Hooks that count block/unblock events — useful in tests and for the
+/// communication statistics of the trace module.
+#[derive(Debug, Default)]
+pub struct CountingHooks {
+    pub blocks: std::sync::atomic::AtomicUsize,
+    pub unblocks: std::sync::atomic::AtomicUsize,
+}
+
+impl MpiHooks for CountingHooks {
+    fn on_block(&self, _rank: usize, _kind: BlockKind) {
+        self.blocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+    fn on_unblock(&self, _rank: usize, _kind: BlockKind) {
+        self.unblocks.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,27 @@
+//! # cfpd-simmpi — a virtual MPI for single-process reproduction
+//!
+//! The paper's experiments run Alya with MPI across two cluster nodes.
+//! This crate substitutes a *virtual cluster*: each MPI rank is an OS
+//! thread, point-to-point messages are typed in-memory queues, and the
+//! MPI collectives used by the simulation (barrier, allreduce, bcast,
+//! gather, comm split) are implemented on top. Two properties of real
+//! MPI that the paper's techniques depend on are preserved faithfully:
+//!
+//! 1. **Blocking semantics** — ranks genuinely park while waiting, and
+//! 2. **PMPI interception** — every blocking entry/exit fires
+//!    [`hooks::MpiHooks`], the surface the DLB library (crate
+//!    `cfpd-dlb`) uses to lend and reclaim cores, exactly like the real
+//!    DLB intercepts `MPI_Recv`/`MPI_Barrier`/collectives via PMPI.
+//!
+//! Tags at `u64::MAX - 5 ..= u64::MAX` are reserved for internal
+//! collectives; user code should use small tags.
+
+pub mod comm;
+pub mod hooks;
+pub mod nonblocking;
+pub mod universe;
+
+pub use comm::{Comm, ReduceOp, DEADLOCK_TIMEOUT};
+pub use nonblocking::Request;
+pub use hooks::{BlockKind, CountingHooks, MpiHooks, NoHooks};
+pub use universe::Universe;

@@ -1,0 +1,143 @@
+//! The virtual cluster: spawns ranks as OS threads and wires them to a
+//! world communicator.
+
+use crate::comm::{Comm, CommState};
+use crate::hooks::{MpiHooks, NoHooks};
+use std::sync::Arc;
+
+/// Entry point of the virtual MPI world.
+///
+/// ```
+/// use cfpd_simmpi::{Universe, ReduceOp};
+/// let sums = Universe::run(4, |comm| {
+///     comm.allreduce_f64(comm.rank() as f64, ReduceOp::Sum)
+/// });
+/// assert!(sums.iter().all(|&s| s == 6.0));
+/// ```
+pub struct Universe;
+
+impl Universe {
+    /// Run `size` ranks, each executing `f` with its world communicator
+    /// on a dedicated thread. Returns the per-rank return values, rank
+    /// order. Panics (with the rank id) if any rank panics.
+    pub fn run<T, F>(size: usize, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        Self::run_with_hooks(size, Arc::new(NoHooks), f)
+    }
+
+    /// Like [`Universe::run`] but with PMPI-style interception hooks
+    /// (the attachment point for the DLB library).
+    pub fn run_with_hooks<T, F>(size: usize, hooks: Arc<dyn MpiHooks>, f: F) -> Vec<T>
+    where
+        T: Send + 'static,
+        F: Fn(Comm) -> T + Send + Sync + 'static,
+    {
+        assert!(size >= 1, "universe needs at least one rank");
+        let state = CommState::new(size);
+        let f = Arc::new(f);
+        let mut handles = Vec::with_capacity(size);
+        for rank in 0..size {
+            let comm = Comm::new(rank, size, rank, Arc::clone(&state), Arc::clone(&hooks));
+            let f = Arc::clone(&f);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rank-{rank}"))
+                    .spawn(move || f(comm))
+                    .expect("spawn rank thread"),
+            );
+        }
+        handles
+            .into_iter()
+            .enumerate()
+            .map(|(rank, h)| match h.join() {
+                Ok(v) => v,
+                Err(e) => {
+                    let msg = e
+                        .downcast_ref::<String>()
+                        .map(String::as_str)
+                        .or_else(|| e.downcast_ref::<&str>().copied())
+                        .unwrap_or("<non-string panic>");
+                    panic!("rank {rank} panicked: {msg}");
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hooks::CountingHooks;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn ranks_return_values_in_rank_order() {
+        let out = Universe::run(5, |comm| comm.rank() * 2);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank 2 panicked: boom")]
+    fn rank_panic_propagates_with_rank_id() {
+        Universe::run(3, |comm| {
+            if comm.rank() == 2 {
+                panic!("boom");
+            }
+        });
+    }
+
+    #[test]
+    fn hooks_fire_on_blocking_recv() {
+        let hooks = Arc::new(CountingHooks::default());
+        let h2 = Arc::clone(&hooks);
+        Universe::run_with_hooks(2, h2, |comm| {
+            if comm.rank() == 0 {
+                // Delay so rank 1 definitely blocks.
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                comm.send(1, 0, 42u32);
+            } else {
+                let v: u32 = comm.recv(0, 0);
+                assert_eq!(v, 42);
+            }
+        });
+        assert_eq!(hooks.blocks.load(Ordering::SeqCst), 1);
+        assert_eq!(hooks.unblocks.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn no_block_when_message_already_there() {
+        let hooks = Arc::new(CountingHooks::default());
+        let h2 = Arc::clone(&hooks);
+        Universe::run_with_hooks(2, h2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 0, 1u8);
+            } else {
+                std::thread::sleep(std::time::Duration::from_millis(30));
+                let _: u8 = comm.recv(0, 0);
+            }
+        });
+        assert_eq!(hooks.blocks.load(Ordering::SeqCst), 0, "recv should not have blocked");
+    }
+
+    #[test]
+    fn single_rank_universe() {
+        let out = Universe::run(1, |comm| {
+            comm.barrier();
+            comm.allreduce_f64(3.0, crate::ReduceOp::Sum)
+        });
+        assert_eq!(out, vec![3.0]);
+    }
+
+    #[test]
+    fn many_ranks_oversubscribed() {
+        // More ranks than cores must still complete (threads, not spins).
+        let out = Universe::run(32, |comm| {
+            let s = comm.allreduce_f64(1.0, crate::ReduceOp::Sum);
+            s as usize
+        });
+        assert!(out.iter().all(|&s| s == 32));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cfpd-solver — FEM machinery for the incompressible flow solve
+//!
+//! Implements the numerical phases whose runtime behaviour the paper
+//! studies (§2.2, Table 1):
+//!
+//! * **Matrix assembly** ([`assembly`]) — the racy scatter-add loop over
+//!   hybrid elements, parallelized with the paper's three strategies
+//!   (atomics / coloring / multidependences, Fig. 4);
+//! * **Solver1 / Solver2** ([`krylov`]) — BiCGSTAB for the momentum
+//!   system and CG for the pressure (continuity) system of a
+//!   fractional-step scheme;
+//! * **SGS** ([`sgs`]) — the per-element subgrid-scale sweep with no
+//!   global writes (the phase used to isolate scheduling overhead);
+//! * [`csr`] — sparse storage with atomic and disjoint concurrent
+//!   scatter views; [`shape`] / [`kernels`] — isoparametric elements and
+//!   the local integrals.
+
+pub mod assembly;
+pub mod csr;
+pub mod kernels;
+pub mod krylov;
+pub mod parallel;
+pub mod sgs;
+pub mod shape;
+
+pub use assembly::{
+    assemble_momentum, assemble_poisson, AssemblyPlan, AssemblyStats, AssemblyStrategy,
+};
+pub use csr::{AtomicView, CsrMatrix, CsrPattern, DisjointView};
+pub use kernels::{ElementScratch, FluidProps};
+pub use krylov::{bicgstab, cg, SolveStats};
+pub use parallel::cg_parallel;
+pub use sgs::{compute_sgs, SgsField, SgsStats};
+pub use shape::{map_qp, MappedQp, QuadPoint, RefElement, MAX_NODES, MAX_QP};

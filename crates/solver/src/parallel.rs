@@ -1,0 +1,176 @@
+//! Pool-parallel sparse kernels: the shared-memory second level of
+//! parallelism for the solver phases (Alya's solvers run hybrid too;
+//! here they let borrowed DLB cores accelerate the Krylov iterations).
+
+use crate::csr::CsrMatrix;
+use crate::krylov::SolveStats;
+use cfpd_runtime::{parallel_dot, parallel_for_with_tid, ThreadPool};
+use std::cell::UnsafeCell;
+
+/// Row-sliced shared output vector for the parallel SpMV: each row is
+/// written by exactly one chunk.
+struct RowsOut<'a>(&'a [UnsafeCell<f64>]);
+// SAFETY: chunks of `parallel_for` are disjoint row ranges.
+unsafe impl Sync for RowsOut<'_> {}
+
+impl RowsOut<'_> {
+    /// # Safety
+    /// `i` must be written by exactly one thread during the region.
+    #[inline]
+    unsafe fn set(&self, i: usize, v: f64) {
+        unsafe { *self.0[i].get() = v };
+    }
+}
+
+impl CsrMatrix {
+    /// y = A x with rows distributed over the pool's active executors.
+    pub fn spmv_parallel(&self, pool: &ThreadPool, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.n);
+        assert_eq!(y.len(), self.n);
+        let out = RowsOut(unsafe {
+            std::slice::from_raw_parts(y.as_mut_ptr() as *const UnsafeCell<f64>, y.len())
+        });
+        let out_ref = &out;
+        parallel_for_with_tid(pool, 0..self.n, 256, |_tid, rows| {
+            for row in rows {
+                let lo = self.row_ptr[row] as usize;
+                let hi = self.row_ptr[row + 1] as usize;
+                let mut acc = 0.0;
+                for k in lo..hi {
+                    acc += self.values[k] * x[self.col_idx[k] as usize];
+                }
+                // SAFETY: each row index appears in exactly one chunk.
+                unsafe { out_ref.set(row, acc) };
+            }
+        });
+    }
+}
+
+/// Jacobi-preconditioned CG with pool-parallel SpMV and dot products —
+/// numerically equivalent to [`crate::krylov::cg`] up to FP reduction
+/// order.
+pub fn cg_parallel(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iters: usize,
+    pool: &ThreadPool,
+) -> SolveStats {
+    let n = a.n;
+    let diag = a.diagonal();
+    let mut r = vec![0.0; n];
+    a.spmv_parallel(pool, x, &mut r);
+    for i in 0..n {
+        r[i] = b[i] - r[i];
+    }
+    let b_norm = parallel_dot(pool, b, b).sqrt().max(1e-300);
+    let jacobi = |r: &[f64], z: &mut [f64]| {
+        for i in 0..r.len() {
+            let d = diag[i];
+            z[i] = if d.abs() > 1e-300 { r[i] / d } else { r[i] };
+        }
+    };
+    let mut z = vec![0.0; n];
+    jacobi(&r, &mut z);
+    let mut p = z.clone();
+    let mut rz = parallel_dot(pool, &r, &z);
+    let mut ap = vec![0.0; n];
+    for it in 0..max_iters {
+        let res = parallel_dot(pool, &r, &r).sqrt() / b_norm;
+        if res < tol {
+            return SolveStats { iterations: it, residual: res, converged: true };
+        }
+        a.spmv_parallel(pool, &p, &mut ap);
+        let pap = parallel_dot(pool, &p, &ap);
+        if pap.abs() < 1e-300 {
+            return SolveStats { iterations: it, residual: res, converged: false };
+        }
+        let alpha = rz / pap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        jacobi(&r, &mut z);
+        let rz_new = parallel_dot(pool, &r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p[i] = z[i] + beta * p[i];
+        }
+    }
+    let res = parallel_dot(pool, &r, &r).sqrt() / b_norm;
+    SolveStats { iterations: max_iters, residual: res, converged: res < tol }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::krylov::cg;
+
+    fn poisson_1d(n: usize) -> CsrMatrix {
+        let mut row_ptr = vec![0u32];
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        for i in 0..n {
+            if i > 0 {
+                col_idx.push((i - 1) as u32);
+                values.push(-1.0);
+            }
+            col_idx.push(i as u32);
+            values.push(2.0);
+            if i + 1 < n {
+                col_idx.push((i + 1) as u32);
+                values.push(-1.0);
+            }
+            row_ptr.push(col_idx.len() as u32);
+        }
+        CsrMatrix { n, row_ptr, col_idx, values }
+    }
+
+    #[test]
+    fn parallel_spmv_matches_serial() {
+        let a = poisson_1d(500);
+        let x: Vec<f64> = (0..500).map(|i| (i as f64 * 0.1).cos()).collect();
+        let mut y_serial = vec![0.0; 500];
+        let mut y_par = vec![0.0; 500];
+        a.spmv(&x, &mut y_serial);
+        let pool = ThreadPool::new(4);
+        a.spmv_parallel(&pool, &x, &mut y_par);
+        for i in 0..500 {
+            assert!((y_serial[i] - y_par[i]).abs() < 1e-14, "row {i}");
+        }
+    }
+
+    #[test]
+    fn parallel_cg_matches_serial_solution() {
+        let n = 200;
+        let a = poisson_1d(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 13) % 17) as f64).collect();
+        let mut b = vec![0.0; n];
+        a.spmv(&x_true, &mut b);
+        let pool = ThreadPool::new(4);
+        let mut x_par = vec![0.0; n];
+        let s_par = cg_parallel(&a, &b, &mut x_par, 1e-12, 2000, &pool);
+        let mut x_ser = vec![0.0; n];
+        let s_ser = cg(&a, &b, &mut x_ser, 1e-12, 2000);
+        assert!(s_par.converged && s_ser.converged);
+        for i in 0..n {
+            assert!((x_par[i] - x_true[i]).abs() < 1e-7, "x[{i}]");
+        }
+        // Similar iteration counts (identical math, different FP order).
+        assert!((s_par.iterations as i64 - s_ser.iterations as i64).abs() <= 3);
+    }
+
+    #[test]
+    fn parallel_cg_respects_shrunk_pool() {
+        // Works with a single active executor too (DLB revoked cores).
+        let a = poisson_1d(64);
+        let b = vec![1.0; 64];
+        let pool = ThreadPool::new(4);
+        pool.set_active(1);
+        let mut x = vec![0.0; 64];
+        let s = cg_parallel(&a, &b, &mut x, 1e-10, 500, &pool);
+        assert!(s.converged);
+    }
+}

@@ -1,0 +1,263 @@
+//! The subgrid-scale (SGS) phase driver: a per-element loop with **no
+//! global scatter** — the paper uses it to measure the pure scheduling
+//! overhead of coloring and multidependences when no race protection is
+//! needed at all (§4.3, Fig. 7).
+
+use crate::assembly::{AssemblyPlan, AssemblyStrategy};
+use crate::kernels::{sgs_kernel, ElementScratch, FluidProps};
+use crate::shape::RefElement;
+use cfpd_mesh::{Mesh, Vec3};
+use cfpd_runtime::{parallel_for, Dep, TaskGraph, ThreadPool};
+use std::cell::UnsafeCell;
+
+/// Per-element, per-quadrature-point subgrid velocity storage.
+#[derive(Debug)]
+pub struct SgsField {
+    /// Flattened per-qp subgrid velocities.
+    pub values: Vec<Vec3>,
+    /// CSR offsets: element `e` owns `values[offsets[e]..offsets[e+1]]`.
+    pub offsets: Vec<u32>,
+    /// Characteristic element length (cbrt of volume), cached.
+    pub h: Vec<f64>,
+}
+
+impl SgsField {
+    pub fn new(mesh: &Mesh) -> SgsField {
+        let ne = mesh.num_elements();
+        let mut offsets = Vec::with_capacity(ne + 1);
+        offsets.push(0u32);
+        let mut total = 0u32;
+        for e in 0..ne {
+            total += mesh.kinds[e].num_quad_points() as u32;
+            offsets.push(total);
+        }
+        let h = (0..ne).map(|e| mesh.volume(e).abs().cbrt()).collect();
+        SgsField { values: vec![Vec3::ZERO; total as usize], offsets, h }
+    }
+
+    /// Subgrid velocities of element `e`.
+    pub fn elem(&self, e: usize) -> &[Vec3] {
+        &self.values[self.offsets[e] as usize..self.offsets[e + 1] as usize]
+    }
+
+    /// Mean subgrid-velocity magnitude (diagnostic).
+    pub fn mean_norm(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().map(|v| v.norm()).sum::<f64>() / self.values.len() as f64
+    }
+}
+
+/// Shared view over the SGS storage allowing each element's slice to be
+/// written by the thread processing that element.
+struct SgsView<'a> {
+    values: &'a [UnsafeCell<Vec3>],
+}
+// SAFETY: every element's range is written by exactly one task/iteration
+// (ranges are disjoint per element).
+unsafe impl Sync for SgsView<'_> {}
+
+impl<'a> SgsView<'a> {
+    fn new(values: &'a mut [Vec3]) -> SgsView<'a> {
+        let ptr = values.as_mut_ptr() as *const UnsafeCell<Vec3>;
+        // SAFETY: identical layout; exclusivity per element range.
+        SgsView { values: unsafe { std::slice::from_raw_parts(ptr, values.len()) } }
+    }
+
+    /// # Safety
+    /// The caller must be the only accessor of `lo..hi` for the duration
+    /// of the borrow.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn range_mut(&self, lo: usize, hi: usize) -> &mut [Vec3] {
+        unsafe {
+            std::slice::from_raw_parts_mut(self.values[lo].get(), hi - lo)
+        }
+    }
+}
+
+/// Result of one SGS sweep: per-element inner-iteration counts (a cost
+/// profile — elements in sheared flow iterate more, one of the organic
+/// imbalance sources) and the weighted total work.
+#[derive(Debug, Default, Clone)]
+pub struct SgsStats {
+    pub elements: usize,
+    pub total_iterations: u64,
+    pub max_iterations: usize,
+}
+
+/// Run one SGS update sweep over `plan.elems` with the plan's strategy.
+/// All strategies are race-free here by construction (per-element
+/// storage) — exactly why the paper uses this phase to isolate the
+/// scheduling overhead of coloring/multidependences.
+#[allow(clippy::too_many_arguments)]
+pub fn compute_sgs(
+    pool: &ThreadPool,
+    refs: &[RefElement; 3],
+    mesh: &Mesh,
+    plan: &AssemblyPlan,
+    velocity: &[Vec3],
+    props: FluidProps,
+    field: &mut SgsField,
+    max_iters: usize,
+    tol: f64,
+) -> SgsStats {
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    let offsets = field.offsets.clone();
+    let h = field.h.clone();
+    let view = SgsView::new(&mut field.values);
+    let total_iters = AtomicU64::new(0);
+    let max_seen = AtomicUsize::new(0);
+
+    let process = |scratch: &mut ElementScratch, e: usize| {
+        let (kind, nn) = scratch.load(mesh, velocity, e);
+        let lo = offsets[e] as usize;
+        let hi = offsets[e + 1] as usize;
+        // SAFETY: element ranges are disjoint; each element is processed
+        // by exactly one executor per sweep.
+        let slice = unsafe { view.range_mut(lo, hi) };
+        let iters = sgs_kernel(refs, scratch, kind, nn, props, h[e], slice, max_iters, tol);
+        total_iters.fetch_add(iters as u64, Ordering::Relaxed);
+        max_seen.fetch_max(iters, Ordering::Relaxed);
+    };
+
+    match plan.strategy {
+        AssemblyStrategy::Serial => {
+            let mut scratch = ElementScratch::default();
+            for &e in &plan.elems {
+                process(&mut scratch, e as usize);
+            }
+        }
+        AssemblyStrategy::Atomics => {
+            // "Atomics" SGS is just a plain parallel loop — no shared
+            // update exists, so no atomic is emitted (paper §4.3).
+            let elems = &plan.elems;
+            parallel_for(pool, 0..elems.len(), 32, |range| {
+                let mut scratch = ElementScratch::default();
+                for k in range {
+                    process(&mut scratch, elems[k] as usize);
+                }
+            });
+        }
+        AssemblyStrategy::Coloring => {
+            // Pointless for SGS but measured to expose its overhead.
+            let classes: Vec<Vec<u32>> = {
+                // Reuse the plan's classes if built for Coloring.
+                let weights: Vec<f64> =
+                    plan.elems.iter().map(|&e| mesh.kinds[e as usize].cost_weight()).collect();
+                let g = cfpd_partition::local_element_graph(mesh, &plan.elems, &weights);
+                cfpd_partition::greedy_coloring(&g)
+                    .color_classes()
+                    .into_iter()
+                    .map(|c| c.into_iter().map(|li| plan.elems[li as usize]).collect())
+                    .collect()
+            };
+            for class in &classes {
+                parallel_for(pool, 0..class.len(), 32, |range| {
+                    let mut scratch = ElementScratch::default();
+                    for k in range {
+                        process(&mut scratch, class[k] as usize);
+                    }
+                });
+            }
+        }
+        AssemblyStrategy::Multidep => {
+            let weights: Vec<f64> =
+                plan.elems.iter().map(|&e| mesh.kinds[e as usize].cost_weight()).collect();
+            let n_sub = plan.num_subdomains().max(pool.max_workers() * 4);
+            let d = cfpd_partition::decompose_subdomains(mesh, &plan.elems, &weights, n_sub);
+            let mut graph = TaskGraph::new();
+            for (s, members) in d.members.iter().enumerate() {
+                let deps: Vec<Dep> =
+                    d.adjacency[s].iter().map(|&t| {
+                        let key = if (s as u32) < t { (s as u32, t) } else { (t, s as u32) };
+                        Dep::mutex((key.0 as usize) * d.members.len() + key.1 as usize)
+                    }).collect();
+                let process = &process;
+                graph.add_task(&deps, move || {
+                    let mut scratch = ElementScratch::default();
+                    for &e in members {
+                        process(&mut scratch, e as usize);
+                    }
+                });
+            }
+            graph.execute(pool);
+        }
+    }
+
+    SgsStats {
+        elements: plan.elems.len(),
+        total_iterations: total_iters.load(Ordering::Relaxed),
+        max_iterations: max_seen.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpd_mesh::{generate_airway, AirwaySpec};
+
+    fn fixture() -> (Mesh, [RefElement; 3], ThreadPool, Vec<Vec3>) {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let vel = am
+            .mesh
+            .coords
+            .iter()
+            .map(|p| Vec3::new(p.y * 20.0, -p.x * 10.0, 1.0))
+            .collect();
+        (am.mesh, RefElement::all(), ThreadPool::new(4), vel)
+    }
+
+    fn run(strategy: AssemblyStrategy) -> (SgsField, SgsStats) {
+        let (mesh, refs, pool, vel) = fixture();
+        let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+        let plan = AssemblyPlan::new(&mesh, elems, strategy, 16);
+        let mut field = SgsField::new(&mesh);
+        let stats = compute_sgs(
+            &pool,
+            &refs,
+            &mesh,
+            &plan,
+            &vel,
+            FluidProps::default(),
+            &mut field,
+            10,
+            1e-8,
+        );
+        (field, stats)
+    }
+
+    #[test]
+    fn sgs_storage_sized_by_quadrature() {
+        let (mesh, ..) = fixture();
+        let field = SgsField::new(&mesh);
+        let expected: usize = (0..mesh.num_elements())
+            .map(|e| mesh.kinds[e].num_quad_points())
+            .sum();
+        assert_eq!(field.values.len(), expected);
+    }
+
+    #[test]
+    fn all_strategies_compute_same_sgs() {
+        let (reference, _) = run(AssemblyStrategy::Serial);
+        for s in [AssemblyStrategy::Atomics, AssemblyStrategy::Coloring, AssemblyStrategy::Multidep]
+        {
+            let (field, stats) = run(s);
+            assert_eq!(stats.elements, reference.offsets.len() - 1);
+            for (i, (a, b)) in field.values.iter().zip(&reference.values).enumerate() {
+                assert!(
+                    (*a - *b).norm() < 1e-12,
+                    "{s:?} sgs[{i}] differs: {a:?} vs {b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rotational_flow_produces_nonzero_sgs() {
+        let (field, stats) = run(AssemblyStrategy::Atomics);
+        assert!(field.mean_norm() > 0.0);
+        assert!(stats.total_iterations as usize >= stats.elements);
+        assert!(stats.max_iterations >= 1);
+    }
+}

@@ -1,0 +1,118 @@
+//! Load-balance analytics: the Lₙ metric of eq. 9 and the per-phase
+//! breakdown of Table 1.
+
+use crate::event::{Phase, Trace};
+
+/// Load balance of a per-rank time vector (eq. 9):
+/// `Lₙ = Σᵢ tᵢ / (n · maxᵢ tᵢ)`. 1.0 = perfect, 0.5 = half the
+/// resources wasted. Returns 1.0 for an all-zero vector (an idle phase
+/// is not imbalanced).
+pub fn load_balance(times: &[f64]) -> f64 {
+    let n = times.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let max = times.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return 1.0;
+    }
+    times.iter().sum::<f64>() / (n as f64 * max)
+}
+
+/// One row of the Table 1 style report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseRow {
+    pub phase: Phase,
+    /// Lₙ over the ranks.
+    pub load_balance: f64,
+    /// Share of the summed per-phase *max-rank* times (the paper's
+    /// "% of execution time within a time step").
+    pub pct_time: f64,
+    /// Max-rank elapsed time of the phase.
+    pub max_time: f64,
+}
+
+/// Compute the Table 1 rows for the given trace: per phase the Lₙ load
+/// balance and the percentage of step time it accounts for. Phases with
+/// zero recorded time are omitted.
+pub fn phase_breakdown(trace: &Trace) -> Vec<PhaseRow> {
+    let mut rows = Vec::new();
+    let mut total = 0.0;
+    let mut raw = Vec::new();
+    for &phase in &Phase::ALL {
+        let per_rank = trace.per_rank_time(phase);
+        let max = per_rank.iter().cloned().fold(0.0f64, f64::max);
+        if max <= 0.0 {
+            continue;
+        }
+        let lb = load_balance(&per_rank);
+        total += max;
+        raw.push((phase, lb, max));
+    }
+    for (phase, lb, max) in raw {
+        rows.push(PhaseRow {
+            phase,
+            load_balance: lb,
+            pct_time: if total > 0.0 { 100.0 * max / total } else { 0.0 },
+            max_time: max,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_balance_is_one() {
+        assert_eq!(load_balance(&[2.0, 2.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn half_idle_is_half() {
+        // One rank does all the work of 2: L2 = (2+0)/(2*2) = 0.5.
+        assert_eq!(load_balance(&[2.0, 0.0]), 0.5);
+    }
+
+    #[test]
+    fn paper_particle_scenario() {
+        // 96 ranks, one does everything: Ln = 1/96 ≈ 0.0104 — the order
+        // of the paper's L96 = 0.02 for the particle phase.
+        let mut times = vec![0.0; 96];
+        times[0] = 1.0;
+        let lb = load_balance(&times);
+        assert!((lb - 1.0 / 96.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_zero_vectors() {
+        assert_eq!(load_balance(&[]), 1.0);
+        assert_eq!(load_balance(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn breakdown_percentages_sum_to_100() {
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Assembly, 0.0, 4.0);
+        t.record(1, Phase::Assembly, 0.0, 2.0);
+        t.record(0, Phase::Particles, 4.0, 5.0);
+        t.record(1, Phase::Particles, 4.0, 4.1);
+        let rows = phase_breakdown(&t);
+        assert_eq!(rows.len(), 2);
+        let pct: f64 = rows.iter().map(|r| r.pct_time).sum();
+        assert!((pct - 100.0).abs() < 1e-9);
+        let asm = rows.iter().find(|r| r.phase == Phase::Assembly).unwrap();
+        assert!((asm.load_balance - 0.75).abs() < 1e-12);
+        assert!((asm.pct_time - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_phases_omitted() {
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Sgs, 0.0, 1.0);
+        let rows = phase_breakdown(&t);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].phase, Phase::Sgs);
+    }
+}

@@ -1,0 +1,162 @@
+//! Trace event records.
+
+/// Execution phases of one CFPD time step (the colored regions of the
+/// paper's Fig. 2 trace).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// MPI communication / waiting (white in the paper's trace).
+    MpiComm,
+    /// Navier-Stokes matrix assembly (brown).
+    Assembly,
+    /// Momentum solver (pink).
+    Solver1,
+    /// Continuity solver (blue).
+    Solver2,
+    /// Subgrid-scale vector computation (purple).
+    Sgs,
+    /// Lagrangian particle transport (black).
+    Particles,
+}
+
+impl Phase {
+    /// All phases, in their within-step order.
+    pub const ALL: [Phase; 6] = [
+        Phase::MpiComm,
+        Phase::Assembly,
+        Phase::Solver1,
+        Phase::Solver2,
+        Phase::Sgs,
+        Phase::Particles,
+    ];
+
+    /// Human-readable name (matching Table 1's rows).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::MpiComm => "MPI",
+            Phase::Assembly => "Matrix assembly",
+            Phase::Solver1 => "Solver1",
+            Phase::Solver2 => "Solver2",
+            Phase::Sgs => "SGS",
+            Phase::Particles => "Particles",
+        }
+    }
+
+    /// One-character tag for the ASCII timeline.
+    pub fn tag(self) -> char {
+        match self {
+            Phase::MpiComm => '.',
+            Phase::Assembly => 'A',
+            Phase::Solver1 => '1',
+            Phase::Solver2 => '2',
+            Phase::Sgs => 'S',
+            Phase::Particles => 'P',
+        }
+    }
+}
+
+/// One phase interval on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    pub rank: usize,
+    pub phase: Phase,
+    pub t_start: f64,
+    pub t_end: f64,
+}
+
+impl TraceEvent {
+    pub fn duration(&self) -> f64 {
+        self.t_end - self.t_start
+    }
+}
+
+/// A whole trace: events from all ranks.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    pub num_ranks: usize,
+    pub events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    pub fn new(num_ranks: usize) -> Trace {
+        Trace { num_ranks, events: Vec::new() }
+    }
+
+    /// Record an interval.
+    pub fn record(&mut self, rank: usize, phase: Phase, t_start: f64, t_end: f64) {
+        debug_assert!(t_end >= t_start, "negative interval");
+        debug_assert!(rank < self.num_ranks);
+        self.events.push(TraceEvent { rank, phase, t_start, t_end });
+    }
+
+    /// Merge another trace's events (e.g. per-rank traces gathered at
+    /// rank 0).
+    pub fn merge(&mut self, other: &Trace) {
+        self.events.extend_from_slice(&other.events);
+    }
+
+    /// End time of the last event.
+    pub fn total_time(&self) -> f64 {
+        self.events.iter().map(|e| e.t_end).fold(0.0, f64::max)
+    }
+
+    /// Time each rank spends in `phase`.
+    pub fn per_rank_time(&self, phase: Phase) -> Vec<f64> {
+        let mut t = vec![0.0; self.num_ranks];
+        for e in &self.events {
+            if e.phase == phase {
+                t[e.rank] += e.duration();
+            }
+        }
+        t
+    }
+
+    /// CSV export: `rank,phase,t_start,t_end`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("rank,phase,t_start,t_end\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{},{},{:.9},{:.9}\n",
+                e.rank,
+                e.phase.name(),
+                e.t_start,
+                e.t_end
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Assembly, 0.0, 2.0);
+        t.record(1, Phase::Assembly, 0.0, 1.0);
+        t.record(1, Phase::Particles, 1.0, 3.0);
+        assert_eq!(t.total_time(), 3.0);
+        assert_eq!(t.per_rank_time(Phase::Assembly), vec![2.0, 1.0]);
+        assert_eq!(t.per_rank_time(Phase::Particles), vec![0.0, 2.0]);
+    }
+
+    #[test]
+    fn csv_contains_all_events() {
+        let mut t = Trace::new(1);
+        t.record(0, Phase::Sgs, 0.5, 0.75);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("rank,phase"));
+        assert!(csv.contains("0,SGS,0.5"));
+    }
+
+    #[test]
+    fn merge_combines_events() {
+        let mut a = Trace::new(2);
+        a.record(0, Phase::Solver1, 0.0, 1.0);
+        let mut b = Trace::new(2);
+        b.record(1, Phase::Solver2, 0.0, 2.0);
+        a.merge(&b);
+        assert_eq!(a.events.len(), 2);
+    }
+}

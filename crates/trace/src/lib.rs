@@ -1,0 +1,17 @@
+//! # cfpd-trace — performance tracing (Extrae + Paraver substitute)
+//!
+//! The paper instruments Alya with Extrae and inspects the trace with
+//! Paraver (§2.2, Fig. 2). This crate provides the same capability at
+//! the scale of this reproduction: phase-interval event records per
+//! rank, the load-balance metric Lₙ of eq. 9, per-phase time breakdowns
+//! (Table 1), an ASCII timeline renderer (Fig. 2), and CSV export.
+
+pub mod balance;
+pub mod event;
+pub mod render;
+pub mod stats;
+
+pub use balance::{load_balance, phase_breakdown, PhaseRow};
+pub use event::{Phase, Trace, TraceEvent};
+pub use render::{render_timeline, render_timeline_ranks};
+pub use stats::{trace_stats, TraceStats};

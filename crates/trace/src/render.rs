@@ -1,0 +1,98 @@
+//! ASCII timeline rendering — the Paraver substitute used to regenerate
+//! the paper's Fig. 2 (one row per rank, time flowing right, one
+//! character per phase).
+
+use crate::event::Trace;
+
+/// Render the trace as an ASCII timeline of `width` columns. Each rank
+/// is one row; each column shows the phase tag active at that time (the
+/// *last* phase covering the column start wins, matching how short MPI
+/// gaps appear in Paraver at coarse zoom). Ranks are downsampled to at
+/// most `max_rows` rows for large traces.
+pub fn render_timeline(trace: &Trace, width: usize, max_rows: usize) -> String {
+    let stride = trace.num_ranks.div_ceil(max_rows.max(1)).max(1);
+    let ranks: Vec<usize> = (0..trace.num_ranks).step_by(stride).collect();
+    render_timeline_ranks(trace, width, &ranks)
+}
+
+/// Like [`render_timeline`] but showing exactly the given ranks — used
+/// when specific ranks must not be downsampled away (e.g. the single
+/// rank carrying the particle phase).
+pub fn render_timeline_ranks(trace: &Trace, width: usize, ranks: &[usize]) -> String {
+    let total = trace.total_time();
+    if total <= 0.0 || trace.num_ranks == 0 || ranks.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let width = width.max(10);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "time -> total {:.4}s, {} ranks ({} shown), legend: A=assembly 1=solver1 2=solver2 S=sgs P=particles .=mpi\n",
+        total,
+        trace.num_ranks,
+        ranks.len()
+    ));
+    for &rank in ranks {
+        let mut row = vec![' '; width];
+        for e in &trace.events {
+            if e.rank != rank {
+                continue;
+            }
+            let c0 = ((e.t_start / total) * width as f64) as usize;
+            let c1 = (((e.t_end / total) * width as f64).ceil() as usize).min(width);
+            for cell in row.iter_mut().take(c1).skip(c0.min(width)) {
+                *cell = e.phase.tag();
+            }
+        }
+        out.push_str(&format!("r{rank:>4} |"));
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Phase, Trace};
+
+    #[test]
+    fn renders_rows_per_rank() {
+        let mut t = Trace::new(3);
+        for r in 0..3 {
+            t.record(r, Phase::Assembly, 0.0, 1.0);
+            t.record(r, Phase::Particles, 1.0, 1.0 + r as f64);
+        }
+        let s = render_timeline(&t, 40, 10);
+        assert_eq!(s.lines().count(), 4); // header + 3 ranks
+        assert!(s.contains('A'));
+        assert!(s.contains('P'));
+    }
+
+    #[test]
+    fn imbalance_visible_as_shorter_rows() {
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Particles, 0.0, 10.0);
+        t.record(1, Phase::Particles, 0.0, 1.0);
+        let s = render_timeline(&t, 50, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        let p0 = lines[1].matches('P').count();
+        let p1 = lines[2].matches('P').count();
+        assert!(p0 > 5 * p1, "rank 0 row should be ~10x longer: {p0} vs {p1}");
+    }
+
+    #[test]
+    fn downsamples_ranks() {
+        let mut t = Trace::new(100);
+        for r in 0..100 {
+            t.record(r, Phase::Sgs, 0.0, 1.0);
+        }
+        let s = render_timeline(&t, 30, 10);
+        assert!(s.lines().count() <= 11);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let t = Trace::new(4);
+        assert!(render_timeline(&t, 40, 10).contains("empty"));
+    }
+}

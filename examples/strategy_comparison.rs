@@ -1,0 +1,89 @@
+//! Compare the three assembly parallelization strategies of the paper's
+//! Fig. 4 on the real host: Atomics (`omp atomic`), Coloring
+//! (Farhat–Crivelli) and Multidependences (`mutexinoutset` subdomain
+//! tasks), against the serial reference — verifying they assemble the
+//! same system and measuring their real single-machine cost.
+//!
+//! ```sh
+//! cargo run --release --example strategy_comparison
+//! ```
+
+use cfpd_mesh::{generate_airway, AirwaySpec, Vec3};
+use cfpd_runtime::ThreadPool;
+use cfpd_solver::{
+    assemble_momentum, AssemblyPlan, AssemblyStrategy, CsrMatrix, FluidProps, RefElement,
+};
+
+fn main() {
+    let airway = generate_airway(&AirwaySpec::small()).expect("valid spec");
+    let mesh = &airway.mesh;
+    let n2e = mesh.node_to_elements();
+    let template = CsrMatrix::from_mesh(mesh, &n2e);
+    let refs = RefElement::all();
+    let pool = ThreadPool::new(4);
+    let velocity: Vec<Vec3> =
+        mesh.coords.iter().map(|p| Vec3::new(p.z * 2.0, p.x, -p.y)).collect();
+    let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+
+    println!(
+        "assembling {} hybrid elements into a {}x{} sparse system ({} nnz)\n",
+        mesh.num_elements(),
+        template.n,
+        template.n,
+        template.nnz()
+    );
+    println!(
+        "{:<10} {:>10} {:>12} {:>8} {:>7} {:>14}",
+        "strategy", "time [ms]", "atomic adds", "colors", "tasks", "max |Δ| vs ref"
+    );
+
+    let mut reference: Option<Vec<f64>> = None;
+    for strategy in AssemblyStrategy::ALL {
+        let plan = AssemblyPlan::new(mesh, elems.clone(), strategy, 24);
+        let mut a = template.clone();
+        let mut rhs = vec![vec![0.0; mesh.num_nodes()]; 3];
+        let t0 = std::time::Instant::now();
+        let zero_p = vec![0.0; mesh.num_nodes()];
+        let stats = assemble_momentum(
+            &pool,
+            &refs,
+            mesh,
+            &plan,
+            &velocity,
+            &zero_p,
+            FluidProps::default(),
+            1e-4,
+            Vec3::new(0.0, 0.0, -9.81),
+            &mut a,
+            &mut rhs,
+        );
+        let dt = t0.elapsed().as_secs_f64() * 1e3;
+        let max_diff = reference
+            .as_ref()
+            .map(|r| {
+                a.values
+                    .iter()
+                    .zip(r)
+                    .map(|(x, y)| (x - y).abs())
+                    .fold(0.0f64, f64::max)
+            })
+            .unwrap_or(0.0);
+        if reference.is_none() {
+            reference = Some(a.values.clone());
+        }
+        println!(
+            "{:<10} {:>10.2} {:>12} {:>8} {:>7} {:>14.3e}",
+            strategy.label(),
+            dt,
+            stats.atomic_adds,
+            stats.colors,
+            stats.tasks,
+            max_diff
+        );
+    }
+    println!(
+        "\nAll strategies assemble the same matrix (differences are FP\n\
+         summation order only). On the paper's clusters the strategies\n\
+         differ sharply in IPC — see `cargo bench` figures 6 and 7."
+    );
+}

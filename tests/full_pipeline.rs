@@ -1,0 +1,113 @@
+//! Cross-crate integration tests: the full CFPD simulation across
+//! execution modes, strategies, rank counts and DLB settings.
+
+use cfpd_core::{run_simulation, ExecutionMode, SimulationConfig};
+use cfpd_mesh::AirwaySpec;
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::Phase;
+
+fn tiny() -> SimulationConfig {
+    SimulationConfig {
+        airway: AirwaySpec { generations: 1, ..AirwaySpec::small() },
+        num_particles: 80,
+        steps: 2,
+        solver_tol: 1e-5,
+        solver_max_iters: 300,
+        ..Default::default()
+    }
+}
+
+fn total(census: &cfpd_particles::ParticleCensus) -> usize {
+    census.active + census.deposited + census.escaped + census.lost
+}
+
+#[test]
+fn every_strategy_runs_the_full_simulation() {
+    for strategy in AssemblyStrategy::ALL {
+        let cfg = SimulationConfig { strategy, ..tiny() };
+        let r = run_simulation(&cfg, 2, 1, false);
+        assert!(r.total_time > 0.0, "{strategy:?}");
+        assert!(total(&r.census) > 0, "{strategy:?}");
+        assert_eq!(r.census.lost, 0, "{strategy:?} lost particles");
+    }
+}
+
+#[test]
+fn rank_count_does_not_change_particle_fate_totals() {
+    let cfg = tiny();
+    let counts: Vec<usize> = [1usize, 2, 4]
+        .iter()
+        .map(|&n| total(&run_simulation(&cfg, n, 1, false).census))
+        .collect();
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2]);
+}
+
+#[test]
+fn sync_and_coupled_agree_on_injection_totals() {
+    let sync_cfg = tiny();
+    let sync = run_simulation(&sync_cfg, 2, 1, false);
+    let coupled_cfg = SimulationConfig {
+        mode: ExecutionMode::Coupled { fluid: 2, particles: 2 },
+        ..tiny()
+    };
+    let coupled = run_simulation(&coupled_cfg, 0, 1, false);
+    assert_eq!(total(&sync.census), total(&coupled.census));
+}
+
+#[test]
+fn dlb_does_not_change_the_physics() {
+    let cfg = tiny();
+    let off = run_simulation(&cfg, 2, 2, false);
+    let on = run_simulation(&cfg, 2, 2, true);
+    // Same particle outcomes (deterministic injection + same numerics).
+    assert_eq!(off.census, on.census);
+    assert!(on.dlb.unwrap().lends > 0);
+}
+
+#[test]
+fn trace_covers_all_fluid_phases_on_all_ranks() {
+    let r = run_simulation(&tiny(), 3, 1, false);
+    for phase in [Phase::Assembly, Phase::Solver1, Phase::Solver2, Phase::Sgs] {
+        let times = r.trace.per_rank_time(phase);
+        assert_eq!(times.len(), 3);
+        assert!(times.iter().all(|&t| t > 0.0), "{phase:?} missing on some rank");
+    }
+    // Percentages sum to ~100.
+    let pct: f64 = r.breakdown.iter().map(|b| b.pct_time).sum();
+    assert!((pct - 100.0).abs() < 1e-6);
+}
+
+#[test]
+fn coupled_mode_split_sizes_respected() {
+    let cfg = SimulationConfig {
+        mode: ExecutionMode::Coupled { fluid: 3, particles: 2 },
+        ..tiny()
+    };
+    let r = run_simulation(&cfg, 0, 1, false);
+    let asm = r.trace.per_rank_time(Phase::Assembly);
+    let par = r.trace.per_rank_time(Phase::Particles);
+    assert_eq!(asm.len(), 5);
+    assert!(asm[..3].iter().all(|&t| t > 0.0), "fluid ranks assemble");
+    assert!(asm[3..].iter().all(|&t| t == 0.0), "particle ranks do not");
+    assert!(par[3..].iter().any(|&t| t > 0.0), "particle ranks track particles");
+}
+
+#[test]
+fn more_particles_increase_particle_phase_share() {
+    let small = run_simulation(&tiny(), 2, 1, false);
+    let big_cfg = SimulationConfig { num_particles: 800, ..tiny() };
+    let big = run_simulation(&big_cfg, 2, 1, false);
+    let share = |r: &cfpd_core::SimulationResult| {
+        r.breakdown
+            .iter()
+            .find(|b| b.phase == Phase::Particles)
+            .map_or(0.0, |b| b.pct_time)
+    };
+    assert!(
+        share(&big) > share(&small),
+        "10x particles must grow the particle-phase share: {} vs {}",
+        share(&big),
+        share(&small)
+    );
+}

@@ -1,0 +1,107 @@
+//! Property-based tests of the virtual-platform model: invariants the
+//! DES must satisfy for the figure reproductions to be trustworthy.
+
+use cfpd_perfmodel::{Mapping, PhaseSpec, Platform, Sensitivity, SyncScenario};
+use cfpd_solver::AssemblyStrategy;
+use cfpd_trace::Phase;
+use proptest::prelude::*;
+
+fn arb_work(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(1e3f64..1e7, n)
+}
+
+fn scenario(
+    work: Vec<f64>,
+    platform: Platform,
+    dlb: bool,
+    strategy: AssemblyStrategy,
+) -> SyncScenario {
+    SyncScenario {
+        platform,
+        phases: vec![PhaseSpec::fixed(
+            Phase::Assembly,
+            work,
+            Sensitivity::Assembly { colors: 10, tasks: 16 },
+        )],
+        steps: 2,
+        threads_per_rank: 1,
+        strategy,
+        dlb,
+        mapping: Mapping::Block,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// DLB never makes a run slower under the model (LeWI only adds
+    /// resources to working ranks).
+    #[test]
+    fn dlb_never_slower(work in arb_work(8)) {
+        let p = Platform::mare_nostrum4();
+        let t_off = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
+        let t_on = scenario(work, p, true, AssemblyStrategy::Serial).run().total_time;
+        prop_assert!(t_on <= t_off * (1.0 + 1e-9), "DLB slower: {t_on} vs {t_off}");
+    }
+
+    /// More total work never finishes earlier.
+    #[test]
+    fn time_monotone_in_work(work in arb_work(6), extra in 1e3f64..1e6) {
+        let p = Platform::thunder();
+        let t1 = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
+        let mut more = work;
+        more[0] += extra;
+        let t2 = scenario(more, p, false, AssemblyStrategy::Serial).run().total_time;
+        prop_assert!(t2 >= t1 - 1e-12);
+    }
+
+    /// The atomics strategy is never faster than multidependences on
+    /// either platform (their IPC factors are strictly ordered).
+    #[test]
+    fn atomics_never_beats_multidep(work in arb_work(8)) {
+        for p in [Platform::mare_nostrum4(), Platform::thunder()] {
+            let t_at = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Atomics).run().total_time;
+            let t_md = scenario(work.clone(), p, false, AssemblyStrategy::Multidep).run().total_time;
+            prop_assert!(t_md <= t_at * (1.0 + 1e-9));
+        }
+    }
+
+    /// The phase time is at least the balanced lower bound
+    /// (total work / total cores) and at most the serial upper bound.
+    #[test]
+    fn time_within_physical_bounds(work in arb_work(8)) {
+        let p = Platform::mare_nostrum4();
+        let total: f64 = work.iter().sum();
+        let t = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
+        let steps = 2.0;
+        let lower = steps * total / (p.core_speed() * 8.0);
+        let upper = steps * total / p.core_speed() + 1.0; // + comm slack
+        prop_assert!(t >= lower * 0.999, "{t} < lower bound {lower}");
+        prop_assert!(t <= upper, "{t} > upper bound {upper}");
+    }
+
+    /// With perfectly balanced work and no DLB, the makespan equals the
+    /// per-rank time (within comm costs).
+    #[test]
+    fn balanced_work_has_no_imbalance_penalty(w in 1e4f64..1e6, n in 2usize..16) {
+        let p = Platform::thunder();
+        let work = vec![w; n];
+        let r = scenario(work, p.clone(), false, AssemblyStrategy::Serial).run();
+        let per_rank = 2.0 * w / p.core_speed();
+        let comm_slack = 2.0 * 10.0 * p.comm_latency + 1e-6;
+        prop_assert!(r.total_time <= per_rank + comm_slack,
+            "{} vs per-rank {}", r.total_time, per_rank);
+    }
+
+    /// Trace totals are consistent with the makespan: no phase interval
+    /// extends past the end of the run.
+    #[test]
+    fn trace_within_makespan(work in arb_work(5)) {
+        let p = Platform::mare_nostrum4();
+        let r = scenario(work, p, true, AssemblyStrategy::Multidep).run();
+        for e in &r.trace.events {
+            prop_assert!(e.t_end <= r.total_time + 1e-12);
+            prop_assert!(e.t_start <= e.t_end);
+        }
+    }
+}
