@@ -1,19 +1,20 @@
-//! Criterion micro-benchmarks of the real executing kernels on the host
-//! machine (single core in this container — these measure *throughput
-//! of the real implementations*, complementing the virtual-platform
-//! figure harnesses).
+//! Micro-benchmarks of the real executing kernels on the host machine
+//! (single core in this container — these measure *throughput of the
+//! real implementations*, complementing the virtual-platform figure
+//! harnesses). Timed with the in-repo `cfpd-testkit` bench timer.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
 
+use cfpd_bench::emit;
 use cfpd_mesh::{generate_airway, AirwaySpec, Vec3};
 use cfpd_partition::{greedy_coloring, partition_kway, Graph};
 use cfpd_runtime::ThreadPool;
 use cfpd_solver::{
     assemble_momentum, cg, AssemblyPlan, AssemblyStrategy, CsrMatrix, FluidProps, RefElement,
 };
+use cfpd_testkit::bench::{Bench, BenchConfig};
 
-fn bench_assembly_strategies(c: &mut Criterion) {
+fn bench_assembly_strategies(b: &mut Bench) {
     let am = generate_airway(&AirwaySpec::small()).unwrap();
     let mesh = &am.mesh;
     let n2e = mesh.node_to_elements();
@@ -23,38 +24,33 @@ fn bench_assembly_strategies(c: &mut Criterion) {
     let velocity: Vec<Vec3> = mesh.coords.iter().map(|p| Vec3::new(p.z, 0.0, -1.0)).collect();
     let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
 
-    let mut group = c.benchmark_group("assembly");
-    group.sample_size(10);
     for strategy in AssemblyStrategy::ALL {
         let plan = AssemblyPlan::new(mesh, elems.clone(), strategy, 16);
-        group.bench_function(strategy.label(), |b| {
-            b.iter_batched(
-                || (matrix.clone(), vec![vec![0.0; mesh.num_nodes()]; 3]),
-                |(mut a, mut rhs)| {
-                    let zero_p = vec![0.0; mesh.num_nodes()];
-                    let stats = assemble_momentum(
-                        &pool,
-                        &refs,
-                        mesh,
-                        &plan,
-                        &velocity,
-                        &zero_p,
-                        FluidProps::default(),
-                        1e-4,
-                        Vec3::new(0.0, 0.0, -9.81),
-                        &mut a,
-                        &mut rhs,
-                    );
-                    black_box(stats.elements);
-                },
-                BatchSize::LargeInput,
-            )
-        });
+        b.bench_batched(
+            &format!("assembly/{}", strategy.label()),
+            || (matrix.clone(), vec![vec![0.0; mesh.num_nodes()]; 3]),
+            |(mut a, mut rhs)| {
+                let zero_p = vec![0.0; mesh.num_nodes()];
+                let stats = assemble_momentum(
+                    &pool,
+                    &refs,
+                    mesh,
+                    &plan,
+                    &velocity,
+                    &zero_p,
+                    FluidProps::default(),
+                    1e-4,
+                    Vec3::new(0.0, 0.0, -9.81),
+                    &mut a,
+                    &mut rhs,
+                );
+                black_box(stats.elements);
+            },
+        );
     }
-    group.finish();
 }
 
-fn bench_solvers(c: &mut Criterion) {
+fn bench_solvers(b: &mut Bench) {
     let am = generate_airway(&AirwaySpec::small()).unwrap();
     let mesh = &am.mesh;
     let n2e = mesh.node_to_elements();
@@ -69,27 +65,20 @@ fn bench_solvers(c: &mut Criterion) {
     }
     let b_vec = vec![1.0; a.n];
 
-    let mut group = c.benchmark_group("solver");
-    group.sample_size(10);
-    group.bench_function("spmv", |bch| {
-        let x = vec![1.0; a.n];
-        let mut y = vec![0.0; a.n];
-        bch.iter(|| {
-            a.spmv(black_box(&x), &mut y);
-            black_box(y[0]);
-        })
+    let x = vec![1.0; a.n];
+    let mut y = vec![0.0; a.n];
+    b.bench("solver/spmv", || {
+        a.spmv(black_box(&x), &mut y);
+        black_box(y[0]);
     });
-    group.bench_function("cg", |bch| {
-        bch.iter(|| {
-            let mut x = vec![0.0; a.n];
-            let stats = cg(&a, &b_vec, &mut x, 1e-8, 500);
-            black_box(stats.iterations);
-        })
+    b.bench("solver/cg", || {
+        let mut x = vec![0.0; a.n];
+        let stats = cg(&a, &b_vec, &mut x, 1e-8, 500);
+        black_box(stats.iterations);
     });
-    group.finish();
 }
 
-fn bench_particles(c: &mut Criterion) {
+fn bench_particles(b: &mut Bench) {
     use cfpd_particles::{inject_at_inlet, step_particles, Locator, ParticleProps, ParticleSet};
     let am = generate_airway(&AirwaySpec::small()).unwrap();
     let locator = Locator::new(&am.mesh);
@@ -107,61 +96,50 @@ fn bench_particles(c: &mut Criterion) {
     );
     let flow: Vec<Vec3> = vec![Vec3::new(0.0, 0.0, -2.0); am.mesh.num_nodes()];
 
-    let mut group = c.benchmark_group("particles");
-    group.sample_size(20);
-    group.bench_function("step_2000", |bch| {
-        bch.iter_batched(
-            || set.clone(),
-            |mut s| {
-                let stats = step_particles(
-                    &mut s,
-                    &locator,
-                    &flow,
-                    1.14,
-                    1.9e-5,
-                    Vec3::new(0.0, 0.0, -9.81),
-                    1e-4,
-                );
-                black_box(stats.moved);
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    b.bench_batched(
+        "particles/step_2000",
+        || set.clone(),
+        |mut s| {
+            let stats = step_particles(
+                &mut s,
+                &locator,
+                &flow,
+                1.14,
+                1.9e-5,
+                Vec3::new(0.0, 0.0, -9.81),
+                1e-4,
+            );
+            black_box(stats.moved);
+        },
+    );
 }
 
-fn bench_partitioning(c: &mut Criterion) {
+fn bench_partitioning(b: &mut Bench) {
     let am = generate_airway(&AirwaySpec::small()).unwrap();
     let n2e = am.mesh.node_to_elements();
     let adj = am.mesh.element_adjacency(&n2e);
     let g = Graph::from_csr_unit(&adj);
 
-    let mut group = c.benchmark_group("partition");
-    group.sample_size(10);
-    group.bench_function("kway_16", |b| {
-        b.iter(|| black_box(partition_kway(&g, 16, 4).edge_cut(&g)))
+    b.bench("partition/kway_16", || {
+        black_box(partition_kway(&g, 16, 4).edge_cut(&g));
     });
-    group.bench_function("coloring", |b| {
-        b.iter(|| black_box(greedy_coloring(&g).num_colors))
+    b.bench("partition/coloring", || {
+        black_box(greedy_coloring(&g).num_colors);
     });
-    group.finish();
 }
 
-fn bench_meshgen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("meshgen");
-    group.sample_size(10);
-    group.bench_function("airway_small", |b| {
-        b.iter(|| black_box(generate_airway(&AirwaySpec::small()).unwrap().mesh.num_elements()))
+fn bench_meshgen(b: &mut Bench) {
+    b.bench("meshgen/airway_small", || {
+        black_box(generate_airway(&AirwaySpec::small()).unwrap().mesh.num_elements());
     });
-    group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_assembly_strategies,
-    bench_solvers,
-    bench_particles,
-    bench_partitioning,
-    bench_meshgen
-);
-criterion_main!(benches);
+fn main() {
+    let mut b = Bench::with_config("micro", BenchConfig { warmup: 3, samples: 10 });
+    bench_assembly_strategies(&mut b);
+    bench_solvers(&mut b);
+    bench_particles(&mut b);
+    bench_partitioning(&mut b);
+    bench_meshgen(&mut b);
+    emit("micro", &b.report());
+}

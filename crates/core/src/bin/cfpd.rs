@@ -5,12 +5,14 @@
 //! cfpd run     [--ranks N] [--threads N] [--dlb] [--coupled F P]
 //!              [--particles N] [--steps N] [--strategy S]
 //! cfpd profile [--ranks N] [--particles N]         Table-1-style profile
+//! cfpd golden  [--ranks N]                         deterministic trace
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (tiny flag set).
 
 use cfpd_core::{
-    measure_workload, run_simulation, ExecutionMode, PhaseCostModel, SimulationConfig,
+    golden_config, golden_trace, measure_workload, run_simulation, ExecutionMode, PhaseCostModel,
+    SimulationConfig,
 };
 use cfpd_mesh::{generate_airway, AirwaySpec};
 use cfpd_solver::AssemblyStrategy;
@@ -24,14 +26,16 @@ fn main() {
         "mesh" => cmd_mesh(&flags),
         "run" => cmd_run(&flags),
         "profile" => cmd_profile(&flags),
+        "golden" => cmd_golden(&flags),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden> [flags]\n\
                  \n\
                  mesh    --generations N  --vtk FILE\n\
                  run     --ranks N  --threads N  --dlb  --coupled F P\n\
                  \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
-                 profile --ranks N  --particles N"
+                 profile --ranks N  --particles N\n\
+                 golden  --ranks N"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -161,6 +165,13 @@ fn cmd_run(flags: &Flags) {
         );
     }
     println!("total: {:.3}s", r.total_time);
+}
+
+/// Print the deterministic golden trace of the canonical small run:
+/// byte-identical output on every invocation with the same flags.
+fn cmd_golden(flags: &Flags) {
+    let ranks = flags.usize_or("--ranks", 2);
+    print!("{}", golden_trace(&golden_config(), ranks));
 }
 
 fn cmd_profile(flags: &Flags) {

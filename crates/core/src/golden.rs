@@ -1,0 +1,155 @@
+//! Golden-trace serialization: render a simulation run's logical event
+//! log as a canonical text document that can be diffed byte-for-byte
+//! against a checked-in golden file.
+//!
+//! Determinism contract: with `threads_per_rank == 1` and DLB off, every
+//! rank's computation is sequential and all collectives reduce in fixed
+//! rank order, so the trace is bit-reproducible across runs and
+//! machines. All floating-point payloads are rendered as `f64::to_bits`
+//! hex — a byte-equal trace means bit-identical physics.
+//!
+//! Regenerate goldens after an *intended* physics change with
+//! `CFPD_BLESS=1 cargo test -p cfpd-core --test golden_trace`.
+
+use crate::config::SimulationConfig;
+use crate::simulation::{run_simulation, LogicalEvent};
+use cfpd_mesh::{generate_airway, AirwaySpec};
+use std::fmt::Write;
+
+/// The canonical small airway run the golden regression suite pins:
+/// a 2-generation mesh, 200 particles, 3 steps, fixed seed.
+pub fn golden_config() -> SimulationConfig {
+    SimulationConfig {
+        airway: AirwaySpec {
+            generations: 2,
+            ..AirwaySpec::small()
+        },
+        num_particles: 200,
+        steps: 3,
+        solver_tol: 1e-6,
+        solver_max_iters: 500,
+        seed: 20260807,
+        ..Default::default()
+    }
+}
+
+fn hex(bits: u64) -> String {
+    format!("{bits:016x}")
+}
+
+/// Run the simulation deterministically (1 thread per rank, DLB off) and
+/// serialize its logical trace.
+pub fn golden_trace(config: &SimulationConfig, n_ranks: usize) -> String {
+    let airway = generate_airway(&config.airway).expect("valid airway spec");
+    let result = run_simulation(config, n_ranks, 1, false);
+
+    let mut out = String::new();
+    let w = &mut out;
+    writeln!(w, "cfpd golden trace v1").unwrap();
+    writeln!(
+        w,
+        "mesh generations={} elements={} nodes={}",
+        config.airway.generations,
+        airway.mesh.num_elements(),
+        airway.mesh.num_nodes(),
+    )
+    .unwrap();
+    writeln!(
+        w,
+        "run ranks={} steps={} particles={} seed={} strategy={:?} subdomains={}",
+        config.total_ranks(n_ranks),
+        config.steps,
+        config.num_particles,
+        config.seed,
+        config.strategy,
+        config.subdomains_per_rank,
+    )
+    .unwrap();
+
+    for e in &result.logical {
+        match e {
+            LogicalEvent::Assembly { step, rank, elements } => {
+                writeln!(w, "step {step} rank {rank} assembly elements={elements}").unwrap();
+            }
+            LogicalEvent::Solve { step, rank, system, iterations, residual_bits, converged } => {
+                writeln!(
+                    w,
+                    "step {step} rank {rank} solve system={system} iters={iterations} \
+                     residual={} converged={converged}",
+                    hex(*residual_bits),
+                )
+                .unwrap();
+            }
+            LogicalEvent::FieldDigest { step, rank, velocity, pressure } => {
+                writeln!(
+                    w,
+                    "step {step} rank {rank} fields velocity={} pressure={}",
+                    hex(*velocity),
+                    hex(*pressure),
+                )
+                .unwrap();
+            }
+            LogicalEvent::Exchange { step, rank, sent, received } => {
+                let sends: Vec<String> =
+                    sent.iter().map(|(d, c)| format!("{d}:{c}")).collect();
+                writeln!(
+                    w,
+                    "step {step} rank {rank} exchange sent=[{}] received={received}",
+                    sends.join(" "),
+                )
+                .unwrap();
+            }
+            LogicalEvent::Particles { step, rank, active, deposited, escaped, lost } => {
+                writeln!(
+                    w,
+                    "step {step} rank {rank} particles active={active} deposited={deposited} \
+                     escaped={escaped} lost={lost}",
+                )
+                .unwrap();
+            }
+        }
+    }
+
+    let c = &result.census;
+    let total = c.active + c.deposited + c.escaped + c.lost;
+    writeln!(
+        w,
+        "summary census active={} deposited={} escaped={} lost={}",
+        c.active, c.deposited, c.escaped, c.lost,
+    )
+    .unwrap();
+    let frac = |n: usize| {
+        if total == 0 { 0.0 } else { n as f64 / total as f64 }
+    };
+    writeln!(
+        w,
+        "summary deposition total={} deposited_frac={} escaped_frac={}",
+        total,
+        hex(frac(c.deposited).to_bits()),
+        hex(frac(c.escaped).to_bits()),
+    )
+    .unwrap();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_has_header_events_and_summary() {
+        let mut cfg = golden_config();
+        cfg.airway.generations = 1;
+        cfg.num_particles = 40;
+        cfg.steps = 1;
+        let trace = golden_trace(&cfg, 2);
+        assert!(trace.starts_with("cfpd golden trace v1\n"));
+        assert!(trace.contains("assembly elements="));
+        assert!(trace.contains("solve system=3"));
+        assert!(trace.contains("fields velocity="));
+        assert!(trace.contains("summary census"));
+        // Every rank-step contributes exchange + particles lines.
+        assert_eq!(trace.matches(" exchange sent=").count(), 2);
+        assert_eq!(trace.matches(" particles active=").count(), 2);
+    }
+}

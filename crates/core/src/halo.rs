@@ -54,6 +54,34 @@ impl HaloMap {
         self.local_of[&global] as usize
     }
 
+    /// Global id of a local index (owned first, then ghosts).
+    pub fn global(&self, local: usize) -> u32 {
+        if local < self.owned.len() {
+            self.owned[local]
+        } else {
+            self.ghosts[local - self.owned.len()]
+        }
+    }
+
+    /// Per-neighbor send lists as *global* node ids, in send order:
+    /// the owned nodes whose values this rank ships to each neighbor on
+    /// every halo exchange.
+    pub fn send_globals(&self) -> Vec<(usize, Vec<u32>)> {
+        self.send_lists
+            .iter()
+            .map(|(r, locals)| (*r, locals.iter().map(|&l| self.global(l as usize)).collect()))
+            .collect()
+    }
+
+    /// Per-neighbor receive lists as *global* node ids, in receive
+    /// order: the ghost nodes this rank refreshes from each neighbor.
+    pub fn recv_globals(&self) -> Vec<(usize, Vec<u32>)> {
+        self.recv_lists
+            .iter()
+            .map(|(r, locals)| (*r, locals.iter().map(|&l| self.global(l as usize)).collect()))
+            .collect()
+    }
+
     /// Build the halo map. `elem_owner[e]` assigns each element to a
     /// rank; every rank calls this collectively with the same input
     /// (the mesh is globally replicated in this virtual cluster, but

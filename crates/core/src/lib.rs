@@ -15,6 +15,7 @@ pub mod config;
 pub mod deposition;
 pub mod flowfield;
 pub mod fluid;
+pub mod golden;
 pub mod halo;
 pub mod simulation;
 pub mod workload;
@@ -22,7 +23,8 @@ pub mod workload;
 pub use config::{ExecutionMode, SimulationConfig};
 pub use flowfield::potential_flow;
 pub use fluid::{BoundaryConditions, FluidSolver, FluidStepReport};
-pub use simulation::{run_simulation, SimulationResult};
+pub use golden::{golden_config, golden_trace};
+pub use simulation::{run_simulation, LogicalEvent, SimulationResult};
 pub use deposition::{deposition_map, DepositionMap, GenerationRow};
 pub use halo::{assemble_and_solve_poisson, dist_cg, DistMatrix, HaloMap};
 pub use workload::{measure_workload, PhaseCostModel, WorkloadProfile};

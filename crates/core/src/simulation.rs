@@ -14,6 +14,7 @@ use cfpd_particles::{
 use cfpd_partition::{partition_kway, Graph};
 use cfpd_runtime::ThreadPool;
 use cfpd_simmpi::{Comm, MpiHooks, ReduceOp, Universe};
+use cfpd_testkit::digest::{digest_f64s, Digest};
 use cfpd_trace::{phase_breakdown, Phase, PhaseRow, Trace};
 use std::sync::Arc;
 
@@ -30,6 +31,110 @@ pub struct SimulationResult {
     pub total_time: f64,
     /// DLB statistics when DLB was enabled.
     pub dlb: Option<DlbStats>,
+    /// Wall-clock-free per-rank event log (gathered at rank 0, sorted by
+    /// `(step, rank)`). Unlike `trace`, this is bit-reproducible across
+    /// runs for a fixed config with `threads_per_rank == 1` and DLB off —
+    /// the substrate of the golden-trace regression suite.
+    pub logical: Vec<LogicalEvent>,
+}
+
+/// One deterministic milestone of the simulation: what was computed,
+/// never how long it took. Floating-point payloads are carried as raw
+/// bit patterns (`f64::to_bits`) so equality means bit-identity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LogicalEvent {
+    /// Matrix assembly on one rank (momentum + Poisson share elements).
+    Assembly { step: usize, rank: usize, elements: usize },
+    /// One linear solve: `system` 0..=2 are the momentum components,
+    /// 3 is the pressure Poisson system.
+    Solve {
+        step: usize,
+        rank: usize,
+        system: u8,
+        iterations: usize,
+        residual_bits: u64,
+        converged: bool,
+    },
+    /// FNV-1a digests of the full velocity / pressure fields after the
+    /// fluid step (replicated solves: identical on every rank).
+    FieldDigest { step: usize, rank: usize, velocity: u64, pressure: u64 },
+    /// Particle migration: `(dest, count)` per non-empty send plus the
+    /// total received, in rank order.
+    Exchange { step: usize, rank: usize, sent: Vec<(usize, usize)>, received: usize },
+    /// Post-step particle census of this rank's subdomain.
+    Particles {
+        step: usize,
+        rank: usize,
+        active: usize,
+        deposited: usize,
+        escaped: usize,
+        lost: usize,
+    },
+}
+
+impl LogicalEvent {
+    pub fn step(&self) -> usize {
+        match self {
+            LogicalEvent::Assembly { step, .. }
+            | LogicalEvent::Solve { step, .. }
+            | LogicalEvent::FieldDigest { step, .. }
+            | LogicalEvent::Exchange { step, .. }
+            | LogicalEvent::Particles { step, .. } => *step,
+        }
+    }
+
+    pub fn rank(&self) -> usize {
+        match self {
+            LogicalEvent::Assembly { rank, .. }
+            | LogicalEvent::Solve { rank, .. }
+            | LogicalEvent::FieldDigest { rank, .. }
+            | LogicalEvent::Exchange { rank, .. }
+            | LogicalEvent::Particles { rank, .. } => *rank,
+        }
+    }
+}
+
+/// Digest the velocity (component-wise) and pressure fields.
+fn field_digests(velocity: &[Vec3], pressure: &[f64]) -> (u64, u64) {
+    let mut dv = Digest::new();
+    for v in velocity {
+        dv.update_f64(v.x).update_f64(v.y).update_f64(v.z);
+    }
+    (dv.finish(), digest_f64s(pressure))
+}
+
+/// Append the fluid-step events (assembly, 4 solves, field digests) for
+/// one rank-step to `log`.
+fn log_fluid_step(
+    log: &mut Vec<LogicalEvent>,
+    step: usize,
+    rank: usize,
+    report: &crate::fluid::FluidStepReport,
+    velocity: &[Vec3],
+    pressure: &[f64],
+) {
+    if let Some(a) = &report.assembly {
+        log.push(LogicalEvent::Assembly { step, rank, elements: a.momentum.elements });
+    }
+    let mut solves: Vec<(u8, cfpd_solver::SolveStats)> = Vec::new();
+    if let Some(s1) = &report.solver1 {
+        solves.extend(s1.iter().enumerate().map(|(i, s)| (i as u8, *s)));
+    }
+    if let Some(s2) = &report.solver2 {
+        solves.push((3, *s2));
+    }
+    for (system, s) in solves {
+        log.push(LogicalEvent::Solve {
+            step,
+            rank,
+            system,
+            iterations: s.iterations,
+            residual_bits: s.residual.to_bits(),
+            converged: s.converged,
+        });
+    }
+    let (dv, dp) = field_digests(velocity, pressure);
+    log.push(LogicalEvent::FieldDigest { step, rank, velocity: dv, pressure: dp });
 }
 
 /// Particle payload migrated between ranks when a particle crosses into
@@ -91,7 +196,7 @@ pub fn run_simulation(
         rank_main(&cfg, &am, &pools2[comm.rank()], comm)
     });
 
-    let (trace, census, total_time) = results.remove(0);
+    let (trace, census, total_time, logical) = results.remove(0);
     let breakdown = phase_breakdown(&trace);
     SimulationResult {
         trace,
@@ -99,17 +204,21 @@ pub fn run_simulation(
         census,
         total_time,
         dlb: if dlb { Some(cluster.total_stats()) } else { None },
+        logical,
     }
 }
 
-/// Per-rank entry point. Returns (trace, census, total_time); only rank
-/// 0's value is meaningful (others return empty).
+/// Per-rank result: (trace, census, total_time, logical events); only
+/// rank 0's value is meaningful (others return empty).
+type RankResult = (Trace, ParticleCensus, f64, Vec<LogicalEvent>);
+
+/// Per-rank entry point.
 fn rank_main(
     config: &SimulationConfig,
     airway: &cfpd_mesh::AirwayMesh,
     pool: &ThreadPool,
     comm: Comm,
-) -> (Trace, ParticleCensus, f64) {
+) -> RankResult {
     match config.mode {
         ExecutionMode::Synchronous => sync_rank(config, airway, pool, comm),
         ExecutionMode::Coupled { fluid, particles } => {
@@ -138,7 +247,7 @@ fn sync_rank(
     airway: &cfpd_mesh::AirwayMesh,
     pool: &ThreadPool,
     comm: Comm,
-) -> (Trace, ParticleCensus, f64) {
+) -> RankResult {
     let mesh = &airway.mesh;
     let rank = comm.rank();
     let n = comm.size();
@@ -187,10 +296,11 @@ fn sync_rank(
     }
 
     let mut trace = Trace::new(n);
+    let mut logical = Vec::new();
     let epoch = std::time::Instant::now();
     let t = |epoch: std::time::Instant| epoch.elapsed().as_secs_f64();
 
-    for _step in 0..config.steps {
+    for step in 0..config.steps {
         // ---- fluid phases (assembly, solver1, solver2, sgs) ----------
         let t0 = t(epoch);
         let report = fs.step_reduced(pool, &mut |buf: &mut [f64]| {
@@ -207,6 +317,7 @@ fn sync_rank(
             trace.record(rank, phase, cursor, cursor + dur);
             cursor += dur;
         }
+        log_fluid_step(&mut logical, step, rank, &report, &fs.velocity, &fs.pressure);
 
         // ---- particle phase -------------------------------------------
         let tp = t(epoch);
@@ -221,14 +332,24 @@ fn sync_rank(
         );
         // Migration: ship particles that crossed into foreign subdomains.
         let outgoing = collect_migrants(&mut mine, &owner, rank);
-        exchange_migrants(&comm, outgoing, &mut mine, None);
+        let (sent, received) = exchange_migrants(&comm, outgoing, &mut mine, None);
         trace.record(rank, Phase::Particles, tp, t(epoch));
+        logical.push(LogicalEvent::Exchange { step, rank, sent, received });
+        let c = mine.census();
+        logical.push(LogicalEvent::Particles {
+            step,
+            rank,
+            active: c.active,
+            deposited: c.deposited,
+            escaped: c.escaped,
+            lost: c.lost,
+        });
 
         comm.barrier();
     }
     let total = t(epoch);
 
-    finalize(comm, trace, mine.census(), total)
+    finalize(comm, trace, mine.census(), total, logical)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -239,13 +360,14 @@ fn coupled_rank(
     comm: Comm,
     f: usize,
     p: usize,
-) -> (Trace, ParticleCensus, f64) {
+) -> RankResult {
     assert_eq!(comm.size(), f + p, "coupled mode rank count");
     let mesh = &airway.mesh;
     let world_rank = comm.rank();
     let is_fluid = world_rank < f;
     let group = comm.split(usize::from(!is_fluid), world_rank);
     let mut trace = Trace::new(comm.size());
+    let mut logical = Vec::new();
     let epoch = std::time::Instant::now();
     let t = |epoch: std::time::Instant| epoch.elapsed().as_secs_f64();
     let census;
@@ -263,7 +385,7 @@ fn coupled_rank(
             config.solver_tol,
             config.solver_max_iters,
         );
-        for _step in 0..config.steps {
+        for step in 0..config.steps {
             let t0 = t(epoch);
             let report = fs.step_reduced(pool, &mut |buf: &mut [f64]| {
                 group.allreduce_slice_f64(buf, ReduceOp::Sum);
@@ -278,6 +400,7 @@ fn coupled_rank(
                 trace.record(world_rank, phase, cursor, cursor + dur);
                 cursor += dur;
             }
+            log_fluid_step(&mut logical, step, world_rank, &report, &fs.velocity, &fs.pressure);
             // Fluid group root ships the velocity field to every particle
             // rank (Fig. 3's "send velocity"), then continues.
             let tc = t(epoch);
@@ -320,7 +443,7 @@ fn coupled_rank(
                 );
             }
         }
-        for _step in 0..config.steps {
+        for step in 0..config.steps {
             // Blocking receive of this step's velocity — the DLB lending
             // point for idle particle ranks.
             let tw = t(epoch);
@@ -337,13 +460,23 @@ fn coupled_rank(
                 config.dt,
             );
             let outgoing = collect_migrants(&mut mine, &owner, group.rank());
-            exchange_migrants(&group, outgoing, &mut mine, Some(f));
+            let (sent, received) = exchange_migrants(&group, outgoing, &mut mine, Some(f));
             trace.record(world_rank, Phase::Particles, tp, t(epoch));
+            logical.push(LogicalEvent::Exchange { step, rank: world_rank, sent, received });
+            let c = mine.census();
+            logical.push(LogicalEvent::Particles {
+                step,
+                rank: world_rank,
+                active: c.active,
+                deposited: c.deposited,
+                escaped: c.escaped,
+                lost: c.lost,
+            });
         }
         census = mine.census();
     }
     let total = t(epoch);
-    finalize(comm, trace, census, total)
+    finalize(comm, trace, census, total, logical)
 }
 
 fn push_particle(set: &mut ParticleSet, m: Migrant) {
@@ -391,39 +524,49 @@ fn collect_migrants(
 
 /// All-to-all exchange of migrants within `comm` (part index == rank in
 /// `comm`; `_group_offset` documents the world offset in coupled mode).
+/// Returns the non-empty `(dest, count)` sends in rank order and the
+/// total particle count received.
 fn exchange_migrants(
     comm: &Comm,
     mut outgoing: std::collections::HashMap<usize, Vec<Migrant>>,
     set: &mut ParticleSet,
     _group_offset: Option<usize>,
-) {
+) -> (Vec<(usize, usize)>, usize) {
     let n = comm.size();
     let me = comm.rank();
+    let mut sent = Vec::new();
     for dest in 0..n {
         if dest == me {
             continue;
         }
         let batch = outgoing.remove(&dest).unwrap_or_default();
+        if !batch.is_empty() {
+            sent.push((dest, batch.len()));
+        }
         comm.send(dest, TAG_MIGRATE, batch);
     }
+    let mut received = 0;
     for src in 0..n {
         if src == me {
             continue;
         }
         let batch: Vec<Migrant> = comm.recv(src, TAG_MIGRATE);
+        received += batch.len();
         for m in batch {
             push_particle(set, m);
         }
     }
+    (sent, received)
 }
 
-/// Gather traces and censuses at world rank 0.
+/// Gather traces, censuses and logical event logs at world rank 0.
 fn finalize(
     comm: Comm,
     trace: Trace,
     census: ParticleCensus,
     total: f64,
-) -> (Trace, ParticleCensus, f64) {
+    logical: Vec<LogicalEvent>,
+) -> RankResult {
     let events: Vec<(usize, u8, f64, f64)> = trace
         .events
         .iter()
@@ -435,6 +578,7 @@ fn finalize(
     let gathered = comm.gather(0, events);
     let censuses = comm.gather(0, (census.active, census.deposited, census.escaped, census.lost));
     let totals = comm.gather(0, total);
+    let logs = comm.gather(0, logical);
     if comm.rank() == 0 {
         let mut merged = Trace::new(comm.size());
         for ev in gathered.unwrap().into_iter().flatten() {
@@ -448,9 +592,13 @@ fn finalize(
             c.lost += l;
         }
         let t = totals.unwrap().into_iter().fold(0.0f64, f64::max);
-        (merged, c, t)
+        let mut log: Vec<LogicalEvent> = logs.unwrap().into_iter().flatten().collect();
+        // Stable sort: per-rank recording order is preserved within a
+        // (step, rank) group.
+        log.sort_by_key(|e| (e.step(), e.rank()));
+        (merged, c, t, log)
     } else {
-        (Trace::new(0), ParticleCensus::default(), 0.0)
+        (Trace::new(0), ParticleCensus::default(), 0.0, Vec::new())
     }
 }
 

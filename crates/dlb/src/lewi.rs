@@ -8,7 +8,7 @@
 //! returns, it *reclaims* its cores, shrinking borrowers back.
 
 use cfpd_runtime::ThreadPool;
-use parking_lot::Mutex;
+use cfpd_testkit::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;

@@ -8,8 +8,7 @@
 
 use crate::forces::ParticleProps;
 use cfpd_mesh::Vec3;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cfpd_testkit::rng::Rng;
 
 /// Boltzmann constant [J/K].
 const K_BOLTZMANN: f64 = 1.380_649e-23;
@@ -57,19 +56,19 @@ impl TransportModel {
 /// Deterministic per-particle random stream for the stochastic terms.
 #[derive(Debug)]
 pub struct DispersionRng {
-    rng: StdRng,
+    rng: Rng,
 }
 
 impl DispersionRng {
     pub fn new(seed: u64) -> Self {
-        DispersionRng { rng: StdRng::seed_from_u64(seed) }
+        DispersionRng { rng: Rng::new(seed) }
     }
 
     /// Standard-normal 3-vector (Box–Muller on uniform draws).
     pub fn gaussian3(&mut self) -> Vec3 {
         let mut pair = || {
-            let u1: f64 = self.rng.random::<f64>().max(1e-12);
-            let u2: f64 = self.rng.random();
+            let u1: f64 = self.rng.f64().max(1e-12);
+            let u2: f64 = self.rng.f64();
             let r = (-2.0 * u1.ln()).sqrt();
             (r * (std::f64::consts::TAU * u2).cos(), r * (std::f64::consts::TAU * u2).sin())
         };

@@ -10,8 +10,7 @@
 use crate::forces::ParticleProps;
 use crate::locator::{Locator, WalkResult};
 use cfpd_mesh::{BoundaryKind, Vec3};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use cfpd_testkit::rng::Rng;
 
 /// Life-cycle state of a particle.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -95,7 +94,7 @@ pub fn inject_at_inlet(
     count: usize,
     seed: u64,
 ) -> usize {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let dir = inlet_direction.normalized();
     let u = dir.any_orthogonal();
     let v = dir.cross(u);
@@ -106,8 +105,8 @@ pub fn inject_at_inlet(
     for _ in 0..count {
         // Uniform over the disc (sqrt radial distribution), shrunk to
         // 90 % of the radius to avoid the wall edge.
-        let r = inlet_radius * 0.9 * rng.random::<f64>().sqrt();
-        let a = rng.random::<f64>() * std::f64::consts::TAU;
+        let r = inlet_radius * 0.9 * rng.f64().sqrt();
+        let a = rng.f64() * std::f64::consts::TAU;
         let p = base + u * (r * a.cos()) + v * (r * a.sin());
         if let Some(e) = locator.locate_global(p) {
             set.push(p, dir * initial_speed, e, props);

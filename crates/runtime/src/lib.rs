@@ -6,7 +6,7 @@
 //! [`ThreadPool::set_active`]) and (2) OpenMP 5.0 *multidependences*:
 //! dependence lists computed at runtime plus the `mutexinoutset`
 //! relationship ([`taskgraph`]). Both are implemented here from scratch
-//! on `parking_lot` primitives.
+//! on the std-based lock primitives of `cfpd-testkit::sync`.
 //!
 //! The three matrix-assembly parallelization strategies of the paper's
 //! Fig. 4 (atomics / coloring / multidependences) are built on these

@@ -13,7 +13,7 @@
 //! the region body (e.g. [`crate::parallel_for`] uses a shared chunk
 //! cursor, giving OpenMP `schedule(dynamic)` behaviour).
 
-use parking_lot::{Condvar, Mutex};
+use cfpd_testkit::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 

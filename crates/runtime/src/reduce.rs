@@ -3,7 +3,7 @@
 //! dynamic-scheduling [`crate::parallel_for`].
 
 use crate::pool::ThreadPool;
-use parking_lot::Mutex;
+use cfpd_testkit::sync::Mutex;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 

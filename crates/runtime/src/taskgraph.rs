@@ -15,7 +15,7 @@
 //!   unordered among themselves with runtime mutual exclusion.
 
 use crate::pool::ThreadPool;
-use parking_lot::Mutex;
+use cfpd_testkit::sync::Mutex;
 use std::cell::UnsafeCell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};

@@ -8,7 +8,7 @@
 //! coupled fluid/particle execution mode uses (Fig. 3).
 
 use crate::hooks::{BlockKind, MpiHooks, NoHooks};
-use parking_lot::{Condvar, Mutex};
+use cfpd_testkit::sync::{Condvar, Mutex};
 use std::any::Any;
 use std::sync::Arc;
 use std::time::Duration;

@@ -1,0 +1,97 @@
+//! FNV-1a digests over raw bit patterns — the primitive of the
+//! golden-trace regression suite. Floating-point values are hashed via
+//! `f64::to_bits`, so a digest match means *bit-identical* physics, not
+//! merely close-enough physics: exactly the gate future scheduling /
+//! load-balancing PRs must pass.
+
+const FNV_OFFSET: u64 = 0xCBF2_9CE4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Incremental 64-bit FNV-1a hasher.
+#[derive(Debug, Clone, Copy)]
+pub struct Digest {
+    state: u64,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    pub fn new() -> Digest {
+        Digest { state: FNV_OFFSET }
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Digest {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    pub fn update_u64(&mut self, v: u64) -> &mut Digest {
+        self.update(&v.to_le_bytes())
+    }
+
+    /// Hash the exact bit pattern of `v` (distinguishes `0.0`/`-0.0`
+    /// and every NaN payload — intentionally: any bit drift is drift).
+    pub fn update_f64(&mut self, v: f64) -> &mut Digest {
+        self.update_u64(v.to_bits())
+    }
+
+    pub fn update_f64s(&mut self, vs: &[f64]) -> &mut Digest {
+        for &v in vs {
+            self.update_f64(v);
+        }
+        self
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot digest of a byte slice.
+pub fn digest_bytes(bytes: &[u8]) -> u64 {
+    let mut d = Digest::new();
+    d.update(bytes);
+    d.finish()
+}
+
+/// One-shot digest of an `f64` slice's bit patterns.
+pub fn digest_f64s(vs: &[f64]) -> u64 {
+    let mut d = Digest::new();
+    d.update_f64s(vs);
+    d.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(digest_bytes(b""), 0xCBF2_9CE4_8422_2325);
+        assert_eq!(digest_bytes(b"a"), 0xAF63_DC4C_8601_EC8C);
+        assert_eq!(digest_bytes(b"foobar"), 0x85944171F73967E8);
+    }
+
+    #[test]
+    fn f64_digest_is_bit_exact() {
+        assert_eq!(digest_f64s(&[1.0, 2.0]), digest_f64s(&[1.0, 2.0]));
+        assert_ne!(digest_f64s(&[1.0]), digest_f64s(&[1.0 + f64::EPSILON]));
+        assert_ne!(digest_f64s(&[0.0]), digest_f64s(&[-0.0]));
+        assert_ne!(digest_f64s(&[1.0, 2.0]), digest_f64s(&[2.0, 1.0]));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut d = Digest::new();
+        d.update(b"foo").update(b"bar");
+        assert_eq!(d.finish(), digest_bytes(b"foobar"));
+    }
+}

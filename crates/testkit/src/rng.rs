@@ -1,0 +1,238 @@
+//! Deterministic pseudo-random numbers: SplitMix64 for seeding,
+//! xoshiro256++ as the workhorse generator, and the distributions the
+//! simulation and test suites draw from (uniform reals/integers,
+//! standard normal via Box–Muller, Fisher–Yates shuffle).
+//!
+//! The streams are fully specified by the seed: the same seed yields
+//! the same sequence on every platform, which is what makes seeded
+//! particle injection and the golden-trace suite reproducible.
+
+/// SplitMix64 — a tiny, high-quality 64-bit generator used to expand a
+/// single `u64` seed into the xoshiro state (the initialization
+/// recommended by the xoshiro authors).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256++ — the main generator. 256 bits of state, period
+/// 2²⁵⁶ − 1, passes BigCrush; plenty for particle dispersion and
+/// property-test case generation.
+#[derive(Debug, Clone)]
+pub struct Rng {
+    s: [u64; 4],
+    /// Cached second output of the last Box–Muller transform.
+    spare_normal: Option<f64>,
+}
+
+impl Rng {
+    /// Seed the full 256-bit state from one `u64` via SplitMix64.
+    pub fn new(seed: u64) -> Rng {
+        let mut sm = SplitMix64::new(seed);
+        Rng {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+            spare_normal: None,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        debug_assert!(lo < hi, "empty f64 range {lo}..{hi}");
+        lo + self.f64() * (hi - lo)
+    }
+
+    /// Uniform integer in `[0, bound)`, unbiased (rejection sampling on
+    /// the widening multiply, Lemire's method).
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 with bound 0");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (bound as u128);
+        let mut low = m as u64;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (bound as u128);
+                low = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty usize range {lo}..{hi}");
+        lo + self.bounded_u64((hi - lo) as u64) as usize
+    }
+
+    /// Standard normal deviate via Box–Muller (the pair's second output
+    /// is cached, so consecutive calls consume uniforms two at a time).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let (a, b) = self.normal_pair();
+        self.spare_normal = Some(b);
+        a
+    }
+
+    /// One Box–Muller transform: two independent standard normals.
+    pub fn normal_pair(&mut self) -> (f64, f64) {
+        let u1 = self.f64().max(1e-12);
+        let u2 = self.f64();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = std::f64::consts::TAU * u2;
+        (r * theta.cos(), r * theta.sin())
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded_u64((i + 1) as u64) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Rng::new(1);
+        let mut b = Rng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng::new(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut buckets = [0usize; 10];
+        for _ in 0..n {
+            let x = rng.f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+            buckets[(x * 10.0) as usize] += 1;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        for (i, &b) in buckets.iter().enumerate() {
+            let frac = b as f64 / n as f64;
+            assert!((frac - 0.1).abs() < 0.02, "bucket {i}: {frac}");
+        }
+    }
+
+    #[test]
+    fn bounded_u64_is_unbiased_over_small_bound() {
+        let mut rng = Rng::new(11);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[rng.bounded_u64(7) as usize] += 1;
+        }
+        for (v, &c) in counts.iter().enumerate() {
+            let frac = c as f64 / n as f64;
+            assert!((frac - 1.0 / 7.0).abs() < 0.01, "value {v}: {frac}");
+        }
+    }
+
+    #[test]
+    fn range_usize_covers_bounds() {
+        let mut rng = Rng::new(3);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = rng.range_usize(4, 8);
+            assert!((4..8).contains(&v));
+            seen_lo |= v == 4;
+            seen_hi |= v == 7;
+        }
+        assert!(seen_lo && seen_hi);
+    }
+
+    #[test]
+    fn normal_has_unit_moments() {
+        let mut rng = Rng::new(5);
+        let n = 40_000;
+        let mut sum = 0.0;
+        let mut sq = 0.0;
+        for _ in 0..n {
+            let z = rng.normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_deterministic() {
+        let mut a: Vec<u32> = (0..100).collect();
+        let mut b = a.clone();
+        Rng::new(9).shuffle(&mut a);
+        Rng::new(9).shuffle(&mut b);
+        assert_eq!(a, b);
+        assert_ne!(a, (0..100).collect::<Vec<u32>>(), "shuffle moved nothing");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn splitmix_known_values() {
+        // Reference values from the SplitMix64 description (seed 0 first
+        // outputs), guarding against accidental constant edits.
+        let mut sm = SplitMix64::new(0);
+        assert_eq!(sm.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(sm.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+    }
+}

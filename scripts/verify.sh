@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# CI entrypoint: the full offline verification chain.
+#
+#   * release build of every workspace target, fully offline (the
+#     workspace has zero external dependencies — any attempt to reach a
+#     registry is a regression),
+#   * the complete test suite (unit, property, invariant, golden-trace),
+#   * a warning gate on cfpd-testkit: the verification stack itself must
+#     compile without a single compiler warning.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== release build (offline) =="
+cargo build --release --offline --all-targets
+
+echo "== test suite (offline) =="
+cargo test -q --offline
+
+echo "== testkit warning gate =="
+touch crates/testkit/src/lib.rs
+out=$(cargo build --offline -p cfpd-testkit 2>&1)
+if grep -q "^warning" <<<"$out"; then
+    echo "$out"
+    echo "FAIL: cfpd-testkit emits compiler warnings" >&2
+    exit 1
+fi
+
+echo "verify: OK"

@@ -95,19 +95,26 @@ fn coupled_mode_split_sizes_respected() {
 
 #[test]
 fn more_particles_increase_particle_phase_share() {
-    let small = run_simulation(&tiny(), 2, 1, false);
-    let big_cfg = SimulationConfig { num_particles: 800, ..tiny() };
-    let big = run_simulation(&big_cfg, 2, 1, false);
     let share = |r: &cfpd_core::SimulationResult| {
         r.breakdown
             .iter()
             .find(|b| b.phase == Phase::Particles)
             .map_or(0.0, |b| b.pct_time)
     };
+    // Wall-clock shares are noisy when the suite runs many test threads
+    // in parallel; compare medians over interleaved repetitions instead
+    // of single samples.
+    let big_cfg = SimulationConfig { num_particles: 800, ..tiny() };
+    let mut small_shares = Vec::new();
+    let mut big_shares = Vec::new();
+    for _ in 0..3 {
+        small_shares.push(share(&run_simulation(&tiny(), 2, 1, false)));
+        big_shares.push(share(&run_simulation(&big_cfg, 2, 1, false)));
+    }
+    small_shares.sort_by(f64::total_cmp);
+    big_shares.sort_by(f64::total_cmp);
     assert!(
-        share(&big) > share(&small),
-        "10x particles must grow the particle-phase share: {} vs {}",
-        share(&big),
-        share(&small)
+        big_shares[1] > small_shares[1],
+        "10x particles must grow the particle-phase share: {big_shares:?} vs {small_shares:?}"
     );
 }

@@ -1,0 +1,88 @@
+//! Golden-trace regression suite: the canonical small run, serialized
+//! as a wall-clock-free event trace with bit-pattern floats, must stay
+//! byte-identical to the checked-in golden file — and identical across
+//! repeated runs, both in-process and through the `cfpd golden` binary.
+//!
+//! Regenerate the golden after an *intended* physics change:
+//! `CFPD_BLESS=1 cargo test -p cfpd-core --test golden_trace`
+
+use cfpd_core::{golden_config, golden_trace};
+use std::path::PathBuf;
+
+const GOLDEN_RANKS: usize = 2;
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/sync_small.golden")
+}
+
+/// The physics gate: any bit drift in assembly, solves, fields,
+/// migration or deposition shows up as a diff against the golden file.
+#[test]
+fn trace_matches_checked_in_golden() {
+    let actual = golden_trace(&golden_config(), GOLDEN_RANKS);
+    let path = golden_path();
+    if std::env::var_os("CFPD_BLESS").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with CFPD_BLESS=1", path.display()));
+    if actual != expected {
+        // Locate the first diverging line for a readable failure.
+        let mismatch = actual
+            .lines()
+            .zip(expected.lines())
+            .enumerate()
+            .find(|(_, (a, b))| a != b);
+        match mismatch {
+            Some((i, (a, b))) => panic!(
+                "golden trace diverges at line {}:\n  actual:   {a}\n  expected: {b}\n\
+                 (CFPD_BLESS=1 to regenerate after an intended change)",
+                i + 1
+            ),
+            None => panic!(
+                "golden trace length changed: {} vs {} lines",
+                actual.lines().count(),
+                expected.lines().count()
+            ),
+        }
+    }
+}
+
+/// Determinism in-process: two runs in the same process produce
+/// byte-identical traces.
+#[test]
+fn trace_is_reproducible_in_process() {
+    let cfg = golden_config();
+    let first = golden_trace(&cfg, GOLDEN_RANKS);
+    let second = golden_trace(&cfg, GOLDEN_RANKS);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same-process runs diverged");
+}
+
+/// Determinism across processes: running the actual `cfpd` binary twice
+/// yields byte-identical stdout.
+#[test]
+fn cfpd_golden_subcommand_is_byte_identical_across_runs() {
+    let run = || {
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_cfpd"))
+            .args(["golden", "--ranks", "2"])
+            .output()
+            .expect("spawn cfpd");
+        assert!(
+            out.status.success(),
+            "cfpd golden failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        out.stdout
+    };
+    let first = run();
+    let second = run();
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "cfpd golden output differs between runs");
+    // The binary serializes the same trace the library produces.
+    let in_process = golden_trace(&golden_config(), GOLDEN_RANKS);
+    assert_eq!(String::from_utf8(first).unwrap(), in_process);
+}

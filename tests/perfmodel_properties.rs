@@ -1,13 +1,15 @@
 //! Property-based tests of the virtual-platform model: invariants the
 //! DES must satisfy for the figure reproductions to be trustworthy.
+//! Runs on the in-repo `cfpd-testkit` property runner (no external
+//! dependencies).
 
 use cfpd_perfmodel::{Mapping, PhaseSpec, Platform, Sensitivity, SyncScenario};
 use cfpd_solver::AssemblyStrategy;
+use cfpd_testkit::prop::{check, f64_range, usize_range, vec_of, Gen, PropConfig};
 use cfpd_trace::Phase;
-use proptest::prelude::*;
 
-fn arb_work(n: usize) -> impl Strategy<Value = Vec<f64>> {
-    proptest::collection::vec(1e3f64..1e7, n)
+fn arb_work(n: usize) -> impl Gen<Value = Vec<f64>> {
+    vec_of(f64_range(1e3, 1e7), n)
 }
 
 fn scenario(
@@ -31,77 +33,99 @@ fn scenario(
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// DLB never makes a run slower under the model (LeWI only adds
-    /// resources to working ranks).
-    #[test]
-    fn dlb_never_slower(work in arb_work(8)) {
+/// DLB never makes a run slower under the model (LeWI only adds
+/// resources to working ranks).
+#[test]
+fn dlb_never_slower() {
+    check("dlb_never_slower", PropConfig::cases(24), &arb_work(8), |work| {
         let p = Platform::mare_nostrum4();
-        let t_off = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
-        let t_on = scenario(work, p, true, AssemblyStrategy::Serial).run().total_time;
-        prop_assert!(t_on <= t_off * (1.0 + 1e-9), "DLB slower: {t_on} vs {t_off}");
-    }
+        let t_off =
+            scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
+        let t_on = scenario(work.clone(), p, true, AssemblyStrategy::Serial).run().total_time;
+        assert!(t_on <= t_off * (1.0 + 1e-9), "DLB slower: {t_on} vs {t_off}");
+    });
+}
 
-    /// More total work never finishes earlier.
-    #[test]
-    fn time_monotone_in_work(work in arb_work(6), extra in 1e3f64..1e6) {
+/// More total work never finishes earlier.
+#[test]
+fn time_monotone_in_work() {
+    let gen = (arb_work(6), f64_range(1e3, 1e6));
+    check("time_monotone_in_work", PropConfig::cases(24), &gen, |(work, extra)| {
         let p = Platform::thunder();
         let t1 = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
-        let mut more = work;
+        let mut more = work.clone();
         more[0] += extra;
         let t2 = scenario(more, p, false, AssemblyStrategy::Serial).run().total_time;
-        prop_assert!(t2 >= t1 - 1e-12);
-    }
+        assert!(t2 >= t1 - 1e-12);
+    });
+}
 
-    /// The atomics strategy is never faster than multidependences on
-    /// either platform (their IPC factors are strictly ordered).
-    #[test]
-    fn atomics_never_beats_multidep(work in arb_work(8)) {
+/// The atomics strategy is never faster than multidependences on
+/// either platform (their IPC factors are strictly ordered).
+#[test]
+fn atomics_never_beats_multidep() {
+    check("atomics_never_beats_multidep", PropConfig::cases(24), &arb_work(8), |work| {
         for p in [Platform::mare_nostrum4(), Platform::thunder()] {
-            let t_at = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Atomics).run().total_time;
-            let t_md = scenario(work.clone(), p, false, AssemblyStrategy::Multidep).run().total_time;
-            prop_assert!(t_md <= t_at * (1.0 + 1e-9));
+            let t_at =
+                scenario(work.clone(), p.clone(), false, AssemblyStrategy::Atomics).run().total_time;
+            let t_md =
+                scenario(work.clone(), p, false, AssemblyStrategy::Multidep).run().total_time;
+            assert!(t_md <= t_at * (1.0 + 1e-9));
         }
-    }
+    });
+}
 
-    /// The phase time is at least the balanced lower bound
-    /// (total work / total cores) and at most the serial upper bound.
-    #[test]
-    fn time_within_physical_bounds(work in arb_work(8)) {
+/// The phase time is at least the balanced lower bound
+/// (total work / total cores) and at most the serial upper bound.
+#[test]
+fn time_within_physical_bounds() {
+    check("time_within_physical_bounds", PropConfig::cases(24), &arb_work(8), |work| {
         let p = Platform::mare_nostrum4();
         let total: f64 = work.iter().sum();
         let t = scenario(work.clone(), p.clone(), false, AssemblyStrategy::Serial).run().total_time;
         let steps = 2.0;
         let lower = steps * total / (p.core_speed() * 8.0);
         let upper = steps * total / p.core_speed() + 1.0; // + comm slack
-        prop_assert!(t >= lower * 0.999, "{t} < lower bound {lower}");
-        prop_assert!(t <= upper, "{t} > upper bound {upper}");
-    }
+        assert!(t >= lower * 0.999, "{t} < lower bound {lower}");
+        assert!(t <= upper, "{t} > upper bound {upper}");
+    });
+}
 
-    /// With perfectly balanced work and no DLB, the makespan equals the
-    /// per-rank time (within comm costs).
-    #[test]
-    fn balanced_work_has_no_imbalance_penalty(w in 1e4f64..1e6, n in 2usize..16) {
-        let p = Platform::thunder();
-        let work = vec![w; n];
-        let r = scenario(work, p.clone(), false, AssemblyStrategy::Serial).run();
-        let per_rank = 2.0 * w / p.core_speed();
-        let comm_slack = 2.0 * 10.0 * p.comm_latency + 1e-6;
-        prop_assert!(r.total_time <= per_rank + comm_slack,
-            "{} vs per-rank {}", r.total_time, per_rank);
-    }
+/// With perfectly balanced work and no DLB, the makespan equals the
+/// per-rank time (within comm costs).
+#[test]
+fn balanced_work_has_no_imbalance_penalty() {
+    let gen = (f64_range(1e4, 1e6), usize_range(2, 16));
+    check(
+        "balanced_work_has_no_imbalance_penalty",
+        PropConfig::cases(24),
+        &gen,
+        |&(w, n)| {
+            let p = Platform::thunder();
+            let work = vec![w; n];
+            let r = scenario(work, p.clone(), false, AssemblyStrategy::Serial).run();
+            let per_rank = 2.0 * w / p.core_speed();
+            let comm_slack = 2.0 * 10.0 * p.comm_latency + 1e-6;
+            assert!(
+                r.total_time <= per_rank + comm_slack,
+                "{} vs per-rank {}",
+                r.total_time,
+                per_rank
+            );
+        },
+    );
+}
 
-    /// Trace totals are consistent with the makespan: no phase interval
-    /// extends past the end of the run.
-    #[test]
-    fn trace_within_makespan(work in arb_work(5)) {
+/// Trace totals are consistent with the makespan: no phase interval
+/// extends past the end of the run.
+#[test]
+fn trace_within_makespan() {
+    check("trace_within_makespan", PropConfig::cases(24), &arb_work(5), |work| {
         let p = Platform::mare_nostrum4();
-        let r = scenario(work, p, true, AssemblyStrategy::Multidep).run();
+        let r = scenario(work.clone(), p, true, AssemblyStrategy::Multidep).run();
         for e in &r.trace.events {
-            prop_assert!(e.t_end <= r.total_time + 1e-12);
-            prop_assert!(e.t_start <= e.t_end);
+            assert!(e.t_end <= r.total_time + 1e-12);
+            assert!(e.t_start <= e.t_end);
         }
-    }
+    });
 }

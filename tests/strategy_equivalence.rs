@@ -1,7 +1,8 @@
 //! Property-based cross-crate tests: on randomized airway meshes, the
 //! three assembly strategies must produce the same matrix as the serial
 //! reference, colorings must be valid, and subdomain decompositions
-//! must partition the element set with correct adjacency.
+//! must partition the element set with correct adjacency. Runs on the
+//! in-repo `cfpd-testkit` property runner (no external dependencies).
 
 use cfpd_mesh::{generate_airway, AirwaySpec, TubeParams, Vec3};
 use cfpd_partition::{decompose_subdomains, greedy_coloring, local_element_graph, Graph};
@@ -9,131 +10,156 @@ use cfpd_runtime::ThreadPool;
 use cfpd_solver::{
     assemble_momentum, AssemblyPlan, AssemblyStrategy, CsrMatrix, FluidProps, RefElement,
 };
-use proptest::prelude::*;
+use cfpd_testkit::prop::{check, f64_range, map, usize_range, Gen, PropConfig};
 
 /// Random (but valid) small airway specifications.
-fn arb_spec() -> impl Strategy<Value = AirwaySpec> {
-    (
-        1usize..=2,      // generations
-        6usize..=10,     // n_theta
-        1usize..=2,      // n_bl_layers
-        1usize..=2,      // n_core_rings
-        0.6f64..0.95,    // length ratio
-        20.0f64..50.0,   // branch angle
-    )
-        .prop_map(|(generations, n_theta, n_bl, n_core, lr, angle)| AirwaySpec {
-            generations,
-            tube: TubeParams {
-                n_theta,
-                n_bl_layers: n_bl,
-                n_core_rings: n_core,
-                ..TubeParams::default()
-            },
-            axial_segments_per_radius: 1.0,
-            length_ratio: lr,
-            branch_angle_deg: angle,
-            ..AirwaySpec::default()
-        })
+fn arb_spec() -> impl Gen<Value = AirwaySpec> {
+    let raw = (
+        usize_range(1, 3),       // generations 1..=2
+        usize_range(6, 11),      // n_theta 6..=10
+        usize_range(1, 3),       // n_bl_layers 1..=2
+        usize_range(1, 3),       // n_core_rings 1..=2
+        f64_range(0.6, 0.95),    // length ratio
+        f64_range(20.0, 50.0),   // branch angle
+    );
+    map(raw, |(generations, n_theta, n_bl, n_core, lr, angle)| AirwaySpec {
+        generations,
+        tube: TubeParams {
+            n_theta,
+            n_bl_layers: n_bl,
+            n_core_rings: n_core,
+            ..TubeParams::default()
+        },
+        axial_segments_per_radius: 1.0,
+        length_ratio: lr,
+        branch_angle_deg: angle,
+        ..AirwaySpec::default()
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+/// The headline invariant of §3.1: parallelization must not change
+/// the assembled system.
+#[test]
+fn strategies_assemble_identical_matrices() {
+    let gen = (arb_spec(), usize_range(4, 32));
+    check(
+        "strategies_assemble_identical_matrices",
+        PropConfig::cases(8),
+        &gen,
+        |(spec, n_sub)| {
+            let airway = generate_airway(spec).unwrap();
+            let mesh = &airway.mesh;
+            let n2e = mesh.node_to_elements();
+            let template = CsrMatrix::from_mesh(mesh, &n2e);
+            let refs = RefElement::all();
+            let pool = ThreadPool::new(4);
+            let velocity: Vec<Vec3> =
+                mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect();
+            let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
 
-    /// The headline invariant of §3.1: parallelization must not change
-    /// the assembled system.
-    #[test]
-    fn strategies_assemble_identical_matrices(spec in arb_spec(), n_sub in 4usize..32) {
-        let airway = generate_airway(&spec).unwrap();
-        let mesh = &airway.mesh;
-        let n2e = mesh.node_to_elements();
-        let template = CsrMatrix::from_mesh(mesh, &n2e);
-        let refs = RefElement::all();
-        let pool = ThreadPool::new(4);
-        let velocity: Vec<Vec3> =
-            mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect();
-        let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
-
-        let mut results = Vec::new();
-        for strategy in AssemblyStrategy::ALL {
-            let plan = AssemblyPlan::new(mesh, elems.clone(), strategy, n_sub);
-            let mut a = template.clone();
-            let mut rhs = vec![vec![0.0; mesh.num_nodes()]; 3];
-            let zero_p = vec![0.0; mesh.num_nodes()];
-            assemble_momentum(
-                &pool, &refs, mesh, &plan, &velocity, &zero_p, FluidProps::default(),
-                1e-4, Vec3::new(0.0, 0.0, -9.81), &mut a, &mut rhs,
-            );
-            results.push(a.values);
-        }
-        let reference = &results[0];
-        for (k, vals) in results.iter().enumerate().skip(1) {
-            for (i, (x, y)) in vals.iter().zip(reference).enumerate() {
-                let scale = x.abs().max(y.abs()).max(1.0);
-                prop_assert!(
-                    (x - y).abs() <= 1e-9 * scale,
-                    "strategy {k} entry {i}: {x} vs {y}"
+            let mut results = Vec::new();
+            for strategy in AssemblyStrategy::ALL {
+                let plan = AssemblyPlan::new(mesh, elems.clone(), strategy, *n_sub);
+                let mut a = template.clone();
+                let mut rhs = vec![vec![0.0; mesh.num_nodes()]; 3];
+                let zero_p = vec![0.0; mesh.num_nodes()];
+                assemble_momentum(
+                    &pool,
+                    &refs,
+                    mesh,
+                    &plan,
+                    &velocity,
+                    &zero_p,
+                    FluidProps::default(),
+                    1e-4,
+                    Vec3::new(0.0, 0.0, -9.81),
+                    &mut a,
+                    &mut rhs,
                 );
+                results.push(a.values);
             }
-        }
-    }
+            let reference = &results[0];
+            for (k, vals) in results.iter().enumerate().skip(1) {
+                for (i, (x, y)) in vals.iter().zip(reference).enumerate() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!(
+                        (x - y).abs() <= 1e-9 * scale,
+                        "strategy {k} entry {i}: {x} vs {y}"
+                    );
+                }
+            }
+        },
+    );
+}
 
-    /// Colorings over random meshes are proper colorings.
-    #[test]
-    fn coloring_always_valid(spec in arb_spec()) {
-        let airway = generate_airway(&spec).unwrap();
+/// Colorings over random meshes are proper colorings.
+#[test]
+fn coloring_always_valid() {
+    check("coloring_always_valid", PropConfig::cases(8), &arb_spec(), |spec| {
+        let airway = generate_airway(spec).unwrap();
         let n2e = airway.mesh.node_to_elements();
         let adj = airway.mesh.element_adjacency(&n2e);
         let g = Graph::from_csr_unit(&adj);
         let coloring = greedy_coloring(&g);
-        prop_assert!(coloring.is_valid(&g));
+        assert!(coloring.is_valid(&g));
         // Bounded by max degree + 1.
         let max_deg = (0..g.num_vertices()).map(|v| g.degree(v)).max().unwrap_or(0);
-        prop_assert!(coloring.num_colors <= max_deg + 1);
-    }
+        assert!(coloring.num_colors <= max_deg + 1);
+    });
+}
 
-    /// Subdomain decompositions partition the elements, and their
-    /// adjacency is exactly node-sharing.
-    #[test]
-    fn subdomains_partition_and_adjacency_correct(spec in arb_spec(), n_sub in 2usize..16) {
-        let airway = generate_airway(&spec).unwrap();
-        let mesh = &airway.mesh;
-        let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
-        let weights = mesh.cost_weights();
-        let d = decompose_subdomains(mesh, &elems, &weights, n_sub);
-        // Partition property.
-        let mut seen = vec![false; elems.len()];
-        for m in &d.members {
-            for &e in m {
-                prop_assert!(!seen[e as usize], "element {e} in two subdomains");
-                seen[e as usize] = true;
+/// Subdomain decompositions partition the elements, and their
+/// adjacency is exactly node-sharing.
+#[test]
+fn subdomains_partition_and_adjacency_correct() {
+    let gen = (arb_spec(), usize_range(2, 16));
+    check(
+        "subdomains_partition_and_adjacency_correct",
+        PropConfig::cases(8),
+        &gen,
+        |(spec, n_sub)| {
+            let airway = generate_airway(spec).unwrap();
+            let mesh = &airway.mesh;
+            let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+            let weights = mesh.cost_weights();
+            let d = decompose_subdomains(mesh, &elems, &weights, *n_sub);
+            // Partition property.
+            let mut seen = vec![false; elems.len()];
+            for m in &d.members {
+                for &e in m {
+                    assert!(!seen[e as usize], "element {e} in two subdomains");
+                    seen[e as usize] = true;
+                }
             }
-        }
-        prop_assert!(seen.iter().all(|&s| s));
-        // Adjacency symmetric & irreflexive.
-        for (s, neigh) in d.adjacency.iter().enumerate() {
-            for &t in neigh {
-                prop_assert!(t as usize != s);
-                prop_assert!(d.adjacency[t as usize].contains(&(s as u32)));
+            assert!(seen.iter().all(|&s| s));
+            // Adjacency symmetric & irreflexive.
+            for (s, neigh) in d.adjacency.iter().enumerate() {
+                for &t in neigh {
+                    assert!(t as usize != s);
+                    assert!(d.adjacency[t as usize].contains(&(s as u32)));
+                }
             }
-        }
-    }
+        },
+    );
+}
 
-    /// The local element graph is symmetric and self-loop free.
-    #[test]
-    fn local_element_graph_is_symmetric(spec in arb_spec()) {
-        let airway = generate_airway(&spec).unwrap();
+/// The local element graph is symmetric and self-loop free.
+#[test]
+fn local_element_graph_is_symmetric() {
+    check("local_element_graph_is_symmetric", PropConfig::cases(8), &arb_spec(), |spec| {
+        let airway = generate_airway(spec).unwrap();
         let mesh = &airway.mesh;
         let elems: Vec<u32> = (0..(mesh.num_elements() / 2).max(1) as u32).collect();
         let weights = vec![1.0; elems.len()];
         let g = local_element_graph(mesh, &elems, &weights);
         for v in 0..g.num_vertices() {
             for &w in g.neighbors(v) {
-                prop_assert!(w as usize != v, "self loop at {v}");
-                prop_assert!(
+                assert!(w as usize != v, "self loop at {v}");
+                assert!(
                     g.neighbors(w as usize).contains(&(v as u32)),
                     "asymmetric edge {v}->{w}"
                 );
             }
         }
-    }
+    });
 }
