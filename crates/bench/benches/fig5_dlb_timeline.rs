@@ -67,6 +67,12 @@ fn main() {
             DlbEventKind::Revoke { cores, active } => {
                 format!("loan revoked ({cores}) -> {active} active threads")
             }
+            DlbEventKind::LeaseExpired { cores } => {
+                format!("lease expired, kept core(s) donated ({cores})")
+            }
+            DlbEventKind::Crashed { cores } => {
+                format!("rank crashed, allotment donated permanently ({cores})")
+            }
         };
         lines.push(format!("{:>10.3}  {:>5}  {}", e.t * 1e3, e.rank, desc));
     }

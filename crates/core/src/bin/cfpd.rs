@@ -6,15 +6,19 @@
 //!              [--particles N] [--steps N] [--strategy S]
 //! cfpd profile [--ranks N] [--particles N]         Table-1-style profile
 //! cfpd golden  [--ranks N]                         deterministic trace
+//! cfpd chaos   [--seed S] [--ranks N] [--dlb] [--storm]
+//!                                                  seeded fault-injection run
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (tiny flag set).
 
 use cfpd_core::{
-    golden_config, golden_trace, measure_workload, run_simulation, ExecutionMode, PhaseCostModel,
-    SimulationConfig,
+    golden_config, golden_trace, measure_workload, run_simulation, run_simulation_fallible,
+    run_simulation_opts, ExecutionMode, RunOptions, SimulationConfig,
+    PhaseCostModel,
 };
 use cfpd_mesh::{generate_airway, AirwaySpec};
+use cfpd_simmpi::FaultConfig;
 use cfpd_solver::AssemblyStrategy;
 use cfpd_trace::render_timeline;
 
@@ -27,15 +31,17 @@ fn main() {
         "run" => cmd_run(&flags),
         "profile" => cmd_profile(&flags),
         "golden" => cmd_golden(&flags),
+        "chaos" => cmd_chaos(&flags),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile|golden> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden|chaos> [flags]\n\
                  \n\
                  mesh    --generations N  --vtk FILE\n\
                  run     --ranks N  --threads N  --dlb  --coupled F P\n\
                  \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
                  profile --ranks N  --particles N\n\
-                 golden  --ranks N"
+                 golden  --ranks N\n\
+                 chaos   --seed S  --ranks N  --dlb  --storm"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -172,6 +178,97 @@ fn cmd_run(flags: &Flags) {
 fn cmd_golden(flags: &Flags) {
     let ranks = flags.usize_or("--ranks", 2);
     print!("{}", golden_trace(&golden_config(), ranks));
+}
+
+/// Run the canonical golden-config case under a seeded fault plan.
+///
+/// Benign mode (default): a fault-free reference run, then the same run
+/// under `FaultConfig::benign(seed)` — delays, reorderings, bounded
+/// drops-with-redelivery, stalls. Every fault is recoverable, so the
+/// logical event log (field digests included) must be *bit-identical*;
+/// exit 0 on match, 1 on divergence.
+///
+/// Storm mode (`--storm`): drops beyond the redelivery bound. The run
+/// must terminate with a structured per-rank deadlock report, never
+/// hang; exit 3 when the report is produced, 4 if the run unexpectedly
+/// completes or fails without diagnostics.
+fn cmd_chaos(flags: &Flags) {
+    let seed: u64 = flags.get("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(7);
+    let ranks = flags.usize_or("--ranks", 2);
+    let dlb = flags.has("--dlb");
+    let lease = dlb.then(|| std::time::Duration::from_millis(50));
+    let config = golden_config();
+
+    if flags.has("--storm") {
+        println!("chaos storm: seed {seed}, {ranks} ranks — message loss beyond the redelivery bound");
+        let opts = RunOptions { dlb, lease, fault: Some(FaultConfig::storm(seed)), ..Default::default() };
+        match run_simulation_fallible(&config, ranks, 1, &opts) {
+            Err(fails) => {
+                println!("run terminated with structured diagnostics on {} rank(s):", fails.len());
+                let mut saw_report = false;
+                for (rank, msg) in &fails {
+                    println!("--- rank {rank} ---\n{msg}");
+                    saw_report |= msg.to_lowercase().contains("deadlock");
+                }
+                std::process::exit(if saw_report { 3 } else { 4 });
+            }
+            Ok(_) => {
+                println!("unexpected: storm run completed without a deadlock report");
+                std::process::exit(4);
+            }
+        }
+    }
+
+    println!(
+        "chaos: seed {seed}, {ranks} ranks, benign fault plan \
+         (delays, reorders, drops+redelivery, stalls), DLB {}",
+        if dlb { "on" } else { "off" }
+    );
+    let clean = run_simulation(&config, ranks, 1, false);
+    let opts = RunOptions { dlb, lease, fault: Some(FaultConfig::benign(seed)), ..Default::default() };
+    let faulted = run_simulation_opts(&config, ranks, 1, &opts);
+
+    use cfpd_simmpi::FaultEventKind as K;
+    let count = |pred: fn(&K) -> bool| faulted.faults.iter().filter(|e| pred(&e.kind)).count();
+    println!(
+        "injected: {} delays, {} reorders, {} drops (all redelivered), {} stalls, {} timeouts observed",
+        count(|k| matches!(k, K::Delay { .. })),
+        count(|k| matches!(k, K::Reorder)),
+        count(|k| matches!(k, K::DropRedeliver)),
+        count(|k| matches!(k, K::Stall { .. })),
+        count(|k| matches!(k, K::Timeout)),
+    );
+    println!("{}", render_timeline(&faulted.trace, 120, 16));
+
+    let events_match = clean.logical == faulted.logical;
+    let census_match = clean.census == faulted.census;
+    if events_match && census_match {
+        println!(
+            "VERDICT: bit-identical — {} logical events (field digests included) and the \
+             final census match the fault-free run",
+            clean.logical.len()
+        );
+        std::process::exit(0);
+    }
+    if let Some((i, (a, b))) = clean
+        .logical
+        .iter()
+        .zip(faulted.logical.iter())
+        .enumerate()
+        .find(|(_, (a, b))| a != b)
+    {
+        println!("first divergence at event {i}:\n  clean:   {a:?}\n  faulted: {b:?}");
+    } else {
+        println!(
+            "event counts differ: clean {} vs faulted {}; censuses: {:?} vs {:?}",
+            clean.logical.len(),
+            faulted.logical.len(),
+            clean.census,
+            faulted.census
+        );
+    }
+    println!("VERDICT: DIVERGED — benign faults must never change the physics");
+    std::process::exit(1);
 }
 
 fn cmd_profile(flags: &Flags) {

@@ -11,10 +11,13 @@
 //! Regenerate goldens after an *intended* physics change with
 //! `CFPD_BLESS=1 cargo test -p cfpd-core --test golden_trace`.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::SimulationConfig;
-use crate::simulation::{run_simulation, LogicalEvent};
+use crate::simulation::{run_simulation, run_simulation_opts, LogicalEvent, RunOptions};
 use cfpd_mesh::{generate_airway, AirwaySpec};
+use cfpd_particles::ParticleCensus;
 use std::fmt::Write;
+use std::sync::Arc;
 
 /// The canonical small airway run the golden regression suite pins:
 /// a 2-generation mesh, 200 particles, 3 steps, fixed seed.
@@ -40,8 +43,56 @@ fn hex(bits: u64) -> String {
 /// Run the simulation deterministically (1 thread per rank, DLB off) and
 /// serialize its logical trace.
 pub fn golden_trace(config: &SimulationConfig, n_ranks: usize) -> String {
-    let airway = generate_airway(&config.airway).expect("valid airway spec");
     let result = run_simulation(config, n_ranks, 1, false);
+    render_golden(config, n_ranks, &result.logical, &result.census)
+}
+
+/// [`golden_trace`] but with the run *split in two*: execute up to step
+/// `split_after`, capture a checkpoint, round-trip it through the text
+/// codec, restore into a fresh universe, finish the run, and render the
+/// stitched logical log. Byte-equality with [`golden_trace`] is the
+/// checkpoint/restart acceptance gate: a restart is only correct if it
+/// is invisible in the golden file.
+pub fn golden_trace_split(config: &SimulationConfig, n_ranks: usize, split_after: usize) -> String {
+    assert!(
+        split_after > 0 && split_after < config.steps,
+        "split must fall strictly inside the run"
+    );
+    let part1 = run_simulation_opts(
+        config,
+        n_ranks,
+        1,
+        &RunOptions { checkpoint_at: Some(split_after), ..Default::default() },
+    );
+    let cp = part1.checkpoint.expect("checkpoint captured at the split step");
+    // Round-trip through the text codec so the gate also covers the
+    // serialization path, not just the in-memory snapshot.
+    let cp = Checkpoint::from_text(&cp.to_text()).expect("checkpoint text round-trip");
+    let part2 = run_simulation_opts(
+        config,
+        n_ranks,
+        1,
+        &RunOptions { restore: Some(Arc::new(cp)), ..Default::default() },
+    );
+    let mut logical: Vec<LogicalEvent> = part1
+        .logical
+        .iter()
+        .filter(|e| e.step() < split_after)
+        .cloned()
+        .collect();
+    logical.extend(part2.logical.iter().cloned());
+    render_golden(config, n_ranks, &logical, &part2.census)
+}
+
+/// Serialize a logical event log + final census as the canonical golden
+/// document.
+fn render_golden(
+    config: &SimulationConfig,
+    n_ranks: usize,
+    logical: &[LogicalEvent],
+    census: &ParticleCensus,
+) -> String {
+    let airway = generate_airway(&config.airway).expect("valid airway spec");
 
     let mut out = String::new();
     let w = &mut out;
@@ -66,7 +117,7 @@ pub fn golden_trace(config: &SimulationConfig, n_ranks: usize) -> String {
     )
     .unwrap();
 
-    for e in &result.logical {
+    for e in logical {
         match e {
             LogicalEvent::Assembly { step, rank, elements } => {
                 writeln!(w, "step {step} rank {rank} assembly elements={elements}").unwrap();
@@ -110,7 +161,7 @@ pub fn golden_trace(config: &SimulationConfig, n_ranks: usize) -> String {
         }
     }
 
-    let c = &result.census;
+    let c = census;
     let total = c.active + c.deposited + c.escaped + c.lost;
     writeln!(
         w,
@@ -151,5 +202,14 @@ mod tests {
         // Every rank-step contributes exchange + particles lines.
         assert_eq!(trace.matches(" exchange sent=").count(), 2);
         assert_eq!(trace.matches(" particles active=").count(), 2);
+    }
+
+    #[test]
+    fn split_run_is_invisible_in_the_golden_document() {
+        let mut cfg = golden_config();
+        cfg.airway.generations = 1;
+        cfg.num_particles = 40;
+        cfg.steps = 2;
+        assert_eq!(golden_trace_split(&cfg, 2, 1), golden_trace(&cfg, 2));
     }
 }

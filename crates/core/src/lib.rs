@@ -11,6 +11,7 @@
 //! for the virtual-platform model (`cfpd-perfmodel`) that regenerates
 //! the paper's figures at 96/192-rank scale.
 
+pub mod checkpoint;
 pub mod config;
 pub mod deposition;
 pub mod flowfield;
@@ -20,11 +21,15 @@ pub mod halo;
 pub mod simulation;
 pub mod workload;
 
+pub use checkpoint::{config_digest, Checkpoint, RankCheckpoint};
 pub use config::{ExecutionMode, SimulationConfig};
 pub use flowfield::potential_flow;
 pub use fluid::{BoundaryConditions, FluidSolver, FluidStepReport};
-pub use golden::{golden_config, golden_trace};
-pub use simulation::{run_simulation, LogicalEvent, SimulationResult};
+pub use golden::{golden_config, golden_trace, golden_trace_split};
+pub use simulation::{
+    run_simulation, run_simulation_fallible, run_simulation_opts, LogicalEvent, RunOptions,
+    SimulationResult,
+};
 pub use deposition::{deposition_map, DepositionMap, GenerationRow};
 pub use halo::{assemble_and_solve_poisson, dist_cg, DistMatrix, HaloMap};
 pub use workload::{measure_workload, PhaseCostModel, WorkloadProfile};

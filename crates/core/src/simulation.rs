@@ -3,9 +3,10 @@
 //! solves, distributed particle tracking with migration, per-phase
 //! tracing, both execution modes of Fig. 3, and optional DLB.
 
+use crate::checkpoint::{Checkpoint, RankCheckpoint};
 use crate::config::{ExecutionMode, SimulationConfig};
 use crate::fluid::FluidSolver;
-use cfpd_dlb::{DlbCluster, DlbStats};
+use cfpd_dlb::{DlbCluster, DlbStats, GrantPolicy, LendPolicy};
 use cfpd_mesh::{generate_airway, Vec3};
 use cfpd_particles::{
     inject_at_inlet, step_particles, Locator, ParticleCensus, ParticleProps, ParticleSet,
@@ -13,10 +14,37 @@ use cfpd_particles::{
 };
 use cfpd_partition::{partition_kway, Graph};
 use cfpd_runtime::ThreadPool;
-use cfpd_simmpi::{Comm, MpiHooks, ReduceOp, Universe};
+use cfpd_simmpi::{
+    ChaosHooks, Comm, FaultConfig, FaultEvent, FaultEventKind, FaultPlan, MpiHooks, ReduceOp,
+    Universe,
+};
 use cfpd_testkit::digest::{digest_f64s, Digest};
-use cfpd_trace::{phase_breakdown, Phase, PhaseRow, Trace};
+use cfpd_trace::{phase_breakdown, ChaosKind, Phase, PhaseRow, Trace};
 use std::sync::Arc;
+use std::time::Duration;
+
+/// Everything beyond the basic `(ranks, threads, dlb)` knobs of a run:
+/// chaos injection, checkpoint capture and restart. The plain
+/// [`run_simulation`] entry point is `RunOptions::default()` plus `dlb`.
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    /// Enable the LeWI arbiter.
+    pub dlb: bool,
+    /// Lending lease for DLB graceful degradation: a rank blocked longer
+    /// than this donates its kept core to the pool (see
+    /// `DlbNode::sweep_leases`). Only meaningful with `dlb`.
+    pub lease: Option<Duration>,
+    /// Seeded fault plan injected into the MPI fabric ([`ChaosHooks`]
+    /// wraps the DLB hooks, so chaos and load balancing compose).
+    pub fault: Option<FaultConfig>,
+    /// Capture a [`Checkpoint`] immediately before this step executes
+    /// (`Some(k)` with `k == steps` captures the final state).
+    /// Synchronous mode only.
+    pub checkpoint_at: Option<usize>,
+    /// Resume from a previously captured checkpoint instead of injecting
+    /// particles at step 0. Synchronous mode only.
+    pub restore: Option<Arc<Checkpoint>>,
+}
 
 /// Result of a simulation run.
 #[derive(Debug)]
@@ -36,6 +64,10 @@ pub struct SimulationResult {
     /// runs for a fixed config with `threads_per_rank == 1` and DLB off —
     /// the substrate of the golden-trace regression suite.
     pub logical: Vec<LogicalEvent>,
+    /// Checkpoint captured at `RunOptions::checkpoint_at`, if requested.
+    pub checkpoint: Option<Checkpoint>,
+    /// Every fault the chaos layer injected (empty without a fault plan).
+    pub faults: Vec<FaultEvent>,
 }
 
 /// One deterministic milestone of the simulation: what was computed,
@@ -163,8 +195,53 @@ pub fn run_simulation(
     threads_per_rank: usize,
     dlb: bool,
 ) -> SimulationResult {
+    run_simulation_opts(config, n_ranks, threads_per_rank, &RunOptions { dlb, ..Default::default() })
+}
+
+/// [`run_simulation`] with the full option set. Panics (with every
+/// failed rank's message) if any rank crashes or deadlocks — use
+/// [`run_simulation_fallible`] when failure is the expected outcome.
+pub fn run_simulation_opts(
+    config: &SimulationConfig,
+    n_ranks: usize,
+    threads_per_rank: usize,
+    opts: &RunOptions,
+) -> SimulationResult {
+    match run_simulation_fallible(config, n_ranks, threads_per_rank, opts) {
+        Ok(r) => r,
+        Err(fails) => {
+            let msgs: Vec<String> =
+                fails.iter().map(|(r, m)| format!("rank {r}: {m}")).collect();
+            panic!("simulation failed on {} rank(s):\n{}", msgs.len(), msgs.join("\n"))
+        }
+    }
+}
+
+/// Run the simulation, surviving rank failures: returns `Err` with one
+/// `(rank, message)` entry per failed rank (crash unwinds, deadlock
+/// reports, panics) instead of propagating the panic. The chaos
+/// subcommand's storm mode relies on this to print a structured
+/// deadlock report and exit instead of hanging or aborting.
+pub fn run_simulation_fallible(
+    config: &SimulationConfig,
+    n_ranks: usize,
+    threads_per_rank: usize,
+    opts: &RunOptions,
+) -> Result<SimulationResult, Vec<(usize, String)>> {
     let n_ranks = config.total_ranks(n_ranks);
     assert!(n_ranks >= 1);
+    if opts.checkpoint_at.is_some() || opts.restore.is_some() {
+        assert_eq!(
+            config.mode,
+            ExecutionMode::Synchronous,
+            "checkpoint/restart is only supported in synchronous mode"
+        );
+    }
+    if let Some(cp) = &opts.restore {
+        if let Err(e) = cp.validate_for(config, n_ranks) {
+            panic!("refusing to restore checkpoint: {e}");
+        }
+    }
 
     // Shared immutable setup (every rank would compute the identical
     // mesh; do it once).
@@ -175,8 +252,14 @@ pub fn run_simulation(
     // DLB may lend between any pair of ranks (the cfpd-perfmodel DES
     // models the paper's 2-node topology; here we exercise the real
     // lending machinery).
-    let cluster = Arc::new(if dlb {
-        DlbCluster::new_block(n_ranks, 1)
+    let cluster = Arc::new(if opts.dlb {
+        DlbCluster::new_block_with(
+            n_ranks,
+            1,
+            LendPolicy::default(),
+            GrantPolicy::default(),
+            opts.lease,
+        )
     } else {
         DlbCluster::disabled(n_ranks, 1)
     });
@@ -187,30 +270,90 @@ pub fn run_simulation(
         cluster.register(r, Arc::clone(pool), threads_per_rank.max(1));
     }
 
-    let hooks: Arc<dyn MpiHooks> = Arc::clone(&cluster) as _;
+    // The hook chain: chaos (outermost, when a fault plan is given)
+    // wraps DLB. Physics code sees neither.
+    let base: Arc<dyn MpiHooks> = Arc::clone(&cluster) as _;
+    let chaos: Option<Arc<ChaosHooks>> = opts
+        .fault
+        .map(|fc| ChaosHooks::new(n_ranks, FaultPlan::new(fc), Arc::clone(&base)));
+    let hooks: Arc<dyn MpiHooks> = match &chaos {
+        Some(c) => Arc::clone(c) as _,
+        None => base,
+    };
+
     let am = Arc::clone(&airway);
     let cfg = Arc::clone(&config);
     let pools2 = pools.clone();
+    let window = StepWindow { checkpoint_at: opts.checkpoint_at, restore: opts.restore.clone() };
 
-    let mut results = Universe::run_with_hooks(n_ranks, hooks, move |comm| {
-        rank_main(&cfg, &am, &pools2[comm.rank()], comm)
+    let results = Universe::run_fallible(n_ranks, hooks, move |comm| {
+        rank_main(&cfg, &am, &pools2[comm.rank()], comm, &window)
     });
 
-    let (trace, census, total_time, logical) = results.remove(0);
+    let mut oks = Vec::new();
+    let mut fails = Vec::new();
+    for (rank, r) in results.into_iter().enumerate() {
+        match r {
+            Ok(v) => oks.push(v),
+            Err(m) => fails.push((rank, m)),
+        }
+    }
+    if !fails.is_empty() {
+        return Err(fails);
+    }
+
+    let out = oks.remove(0);
+    let RankOut { mut trace, census, total, logical, checkpoint: cp_ranks } = out;
+    let checkpoint = cp_ranks.map(|ranks| Checkpoint {
+        next_step: opts.checkpoint_at.expect("capture implies checkpoint_at"),
+        n_ranks,
+        seed: config.seed,
+        config_digest: crate::checkpoint::config_digest(&config),
+        ranks,
+    });
+
+    // Overlay the injected-fault log on the wall-clock trace.
+    let faults = chaos.as_ref().map(|c| c.events()).unwrap_or_default();
+    for f in &faults {
+        let kind = match f.kind {
+            FaultEventKind::Timeout => ChaosKind::TimeoutFired,
+            _ => ChaosKind::FaultInjected,
+        };
+        if f.rank < trace.num_ranks {
+            trace.record_chaos(f.rank, f.t, kind);
+        }
+    }
+
     let breakdown = phase_breakdown(&trace);
-    SimulationResult {
+    Ok(SimulationResult {
         trace,
         breakdown,
         census,
-        total_time,
-        dlb: if dlb { Some(cluster.total_stats()) } else { None },
+        total_time: total,
+        dlb: if opts.dlb { Some(cluster.total_stats()) } else { None },
         logical,
-    }
+        checkpoint,
+        faults,
+    })
 }
 
-/// Per-rank result: (trace, census, total_time, logical events); only
-/// rank 0's value is meaningful (others return empty).
-type RankResult = (Trace, ParticleCensus, f64, Vec<LogicalEvent>);
+/// Checkpoint/restart window threaded into each rank's main loop.
+#[derive(Clone)]
+struct StepWindow {
+    checkpoint_at: Option<usize>,
+    restore: Option<Arc<Checkpoint>>,
+}
+
+/// Per-rank result; only rank 0's value is meaningful (others return
+/// empty).
+struct RankOut {
+    trace: Trace,
+    census: ParticleCensus,
+    total: f64,
+    logical: Vec<LogicalEvent>,
+    /// Gathered per-rank checkpoints (rank 0, when capture was asked).
+    checkpoint: Option<Vec<RankCheckpoint>>,
+}
 
 /// Per-rank entry point.
 fn rank_main(
@@ -218,9 +361,10 @@ fn rank_main(
     airway: &cfpd_mesh::AirwayMesh,
     pool: &ThreadPool,
     comm: Comm,
-) -> RankResult {
+    window: &StepWindow,
+) -> RankOut {
     match config.mode {
-        ExecutionMode::Synchronous => sync_rank(config, airway, pool, comm),
+        ExecutionMode::Synchronous => sync_rank(config, airway, pool, comm, window),
         ExecutionMode::Coupled { fluid, particles } => {
             coupled_rank(config, airway, pool, comm, fluid, particles)
         }
@@ -247,7 +391,8 @@ fn sync_rank(
     airway: &cfpd_mesh::AirwayMesh,
     pool: &ThreadPool,
     comm: Comm,
-) -> RankResult {
+    window: &StepWindow,
+) -> RankOut {
     let mesh = &airway.mesh;
     let rank = comm.rank();
     let n = comm.size();
@@ -266,41 +411,74 @@ fn sync_rank(
     );
     let locator = Locator::new(mesh);
 
-    // Deterministic identical injection everywhere; keep only mine.
-    let mut all = ParticleSet::default();
-    inject_at_inlet(
-        &mut all,
-        &locator,
-        airway.inlet_center,
-        airway.inlet_direction,
-        airway.inlet_radius,
-        config.inflow_speed,
-        config.particle,
-        config.num_particles,
-        config.seed,
-    );
     let mut mine = ParticleSet::default();
-    for i in 0..all.len() {
-        if owner[all.elem[i] as usize] as usize == rank {
-            push_particle(
-                &mut mine,
-                Migrant {
-                    pos: all.pos[i],
-                    vel: all.vel[i],
-                    acc: all.acc[i],
-                    elem: all.elem[i],
-                    props: all.props[i],
-                },
-            );
+    let start_step = match &window.restore {
+        Some(cp) => {
+            // Resume: overwrite the persistent cross-step state (fields,
+            // SGS vectors, particle SoA) with the snapshot; the RNG only
+            // runs at step-0 injection, so nothing else needs replaying.
+            let rc = &cp.ranks[rank];
+            fs.velocity = rc.velocity.clone();
+            fs.pressure = rc.pressure.clone();
+            fs.sgs.values = rc.sgs.clone();
+            mine = rc.particles.clone();
+            cp.next_step
         }
-    }
+        None => {
+            // Deterministic identical injection everywhere; keep only
+            // mine.
+            let mut all = ParticleSet::default();
+            inject_at_inlet(
+                &mut all,
+                &locator,
+                airway.inlet_center,
+                airway.inlet_direction,
+                airway.inlet_radius,
+                config.inflow_speed,
+                config.particle,
+                config.num_particles,
+                config.seed,
+            );
+            for i in 0..all.len() {
+                if owner[all.elem[i] as usize] as usize == rank {
+                    push_particle(
+                        &mut mine,
+                        Migrant {
+                            pos: all.pos[i],
+                            vel: all.vel[i],
+                            acc: all.acc[i],
+                            elem: all.elem[i],
+                            props: all.props[i],
+                        },
+                    );
+                }
+            }
+            0
+        }
+    };
 
     let mut trace = Trace::new(n);
     let mut logical = Vec::new();
+    let mut captured: Option<RankCheckpoint> = None;
     let epoch = std::time::Instant::now();
     let t = |epoch: std::time::Instant| epoch.elapsed().as_secs_f64();
+    let capture = |fs: &FluidSolver, mine: &ParticleSet, trace: &mut Trace, now: f64| {
+        trace.record_chaos(rank, now, ChaosKind::CheckpointWritten);
+        RankCheckpoint {
+            rank,
+            velocity: fs.velocity.clone(),
+            pressure: fs.pressure.clone(),
+            sgs: fs.sgs.values.clone(),
+            particles: mine.clone(),
+        }
+    };
 
-    for step in 0..config.steps {
+    for step in start_step..config.steps {
+        // A checkpoint captures the state *before* this step runs (i.e.
+        // at the step boundary the previous barrier just synchronized).
+        if window.checkpoint_at == Some(step) {
+            captured = Some(capture(&fs, &mine, &mut trace, t(epoch)));
+        }
         // ---- fluid phases (assembly, solver1, solver2, sgs) ----------
         let t0 = t(epoch);
         let report = fs.step_reduced(pool, &mut |buf: &mut [f64]| {
@@ -347,9 +525,13 @@ fn sync_rank(
 
         comm.barrier();
     }
+    // `checkpoint_at == steps` means "capture the final state".
+    if window.checkpoint_at == Some(config.steps) {
+        captured = Some(capture(&fs, &mine, &mut trace, t(epoch)));
+    }
     let total = t(epoch);
 
-    finalize(comm, trace, mine.census(), total, logical)
+    finalize(comm, trace, mine.census(), total, logical, captured)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -360,7 +542,7 @@ fn coupled_rank(
     comm: Comm,
     f: usize,
     p: usize,
-) -> RankResult {
+) -> RankOut {
     assert_eq!(comm.size(), f + p, "coupled mode rank count");
     let mesh = &airway.mesh;
     let world_rank = comm.rank();
@@ -476,7 +658,7 @@ fn coupled_rank(
         census = mine.census();
     }
     let total = t(epoch);
-    finalize(comm, trace, census, total, logical)
+    finalize(comm, trace, census, total, logical, None)
 }
 
 fn push_particle(set: &mut ParticleSet, m: Migrant) {
@@ -559,14 +741,16 @@ fn exchange_migrants(
     (sent, received)
 }
 
-/// Gather traces, censuses and logical event logs at world rank 0.
+/// Gather traces, censuses, logical event logs and (when capture was
+/// requested) per-rank checkpoints at world rank 0.
 fn finalize(
     comm: Comm,
     trace: Trace,
     census: ParticleCensus,
     total: f64,
     logical: Vec<LogicalEvent>,
-) -> RankResult {
+    captured: Option<RankCheckpoint>,
+) -> RankOut {
     let events: Vec<(usize, u8, f64, f64)> = trace
         .events
         .iter()
@@ -575,14 +759,23 @@ fn finalize(
             (e.rank, pid, e.t_start, e.t_end)
         })
         .collect();
+    let chaos_events: Vec<(usize, f64)> =
+        trace.chaos.iter().map(|c| (c.rank, c.t)).collect();
     let gathered = comm.gather(0, events);
+    let chaos_gathered = comm.gather(0, chaos_events);
     let censuses = comm.gather(0, (census.active, census.deposited, census.escaped, census.lost));
     let totals = comm.gather(0, total);
     let logs = comm.gather(0, logical);
+    let cps = comm.gather(0, captured);
     if comm.rank() == 0 {
         let mut merged = Trace::new(comm.size());
         for ev in gathered.unwrap().into_iter().flatten() {
             merged.record(ev.0, Phase::ALL[ev.1 as usize], ev.2, ev.3);
+        }
+        // The only rank-local chaos markers are checkpoint captures;
+        // fault/timeout markers come from the ChaosHooks log upstream.
+        for (r, t) in chaos_gathered.unwrap().into_iter().flatten() {
+            merged.record_chaos(r, t, cfpd_trace::ChaosKind::CheckpointWritten);
         }
         let mut c = ParticleCensus::default();
         for (a, d, e, l) in censuses.unwrap() {
@@ -596,9 +789,19 @@ fn finalize(
         // Stable sort: per-rank recording order is preserved within a
         // (step, rank) group.
         log.sort_by_key(|e| (e.step(), e.rank()));
-        (merged, c, t, log)
+        let mut ranks: Vec<RankCheckpoint> =
+            cps.unwrap().into_iter().flatten().collect();
+        ranks.sort_by_key(|rc| rc.rank);
+        let checkpoint = if ranks.len() == comm.size() { Some(ranks) } else { None };
+        RankOut { trace: merged, census: c, total: t, logical: log, checkpoint }
     } else {
-        (Trace::new(0), ParticleCensus::default(), 0.0, Vec::new())
+        RankOut {
+            trace: Trace::new(0),
+            census: ParticleCensus::default(),
+            total: 0.0,
+            logical: Vec::new(),
+            checkpoint: None,
+        }
     }
 }
 
@@ -660,6 +863,66 @@ mod tests {
         assert!(par[2] > 0.0 && par[0] == 0.0);
         let c = r.census;
         assert!(c.active + c.deposited + c.escaped > 0);
+    }
+
+    #[test]
+    fn checkpoint_restart_resumes_bit_identically() {
+        let cfg = tiny_config();
+        let full = run_simulation(&cfg, 2, 1, false);
+        let part1 = run_simulation_opts(
+            &cfg,
+            2,
+            1,
+            &RunOptions { checkpoint_at: Some(1), ..Default::default() },
+        );
+        let cp = part1.checkpoint.expect("checkpoint captured");
+        assert_eq!(cp.next_step, 1);
+        let cp = Checkpoint::from_text(&cp.to_text()).expect("round-trip");
+        let part2 = run_simulation_opts(
+            &cfg,
+            2,
+            1,
+            &RunOptions { restore: Some(Arc::new(cp)), ..Default::default() },
+        );
+        // Stitched event log == uninterrupted run's log, bit for bit.
+        let mut stitched: Vec<LogicalEvent> =
+            part1.logical.iter().filter(|e| e.step() < 1).cloned().collect();
+        stitched.extend(part2.logical.iter().cloned());
+        assert_eq!(stitched, full.logical);
+        assert_eq!(part2.census, full.census);
+    }
+
+    #[test]
+    fn benign_chaos_leaves_the_logical_trace_bit_identical() {
+        let cfg = tiny_config();
+        let clean = run_simulation(&cfg, 2, 1, false);
+        let chaotic = run_simulation_opts(
+            &cfg,
+            2,
+            1,
+            &RunOptions { fault: Some(FaultConfig::benign(7)), ..Default::default() },
+        );
+        assert!(!chaotic.faults.is_empty(), "benign plan injected nothing");
+        assert_eq!(clean.logical, chaotic.logical);
+        assert_eq!(clean.census, chaotic.census);
+        // The wall-clock trace carries the fault markers.
+        assert!(!chaotic.trace.chaos.is_empty());
+    }
+
+    #[test]
+    fn storm_chaos_yields_a_deadlock_report_not_a_hang() {
+        let cfg = tiny_config();
+        let r = run_simulation_fallible(
+            &cfg,
+            2,
+            1,
+            &RunOptions { fault: Some(cfpd_simmpi::FaultConfig::storm(3)), ..Default::default() },
+        );
+        let fails = r.err().expect("storm run must fail");
+        assert!(
+            fails.iter().any(|(_, m)| m.contains("DEADLOCK") || m.contains("deadlock")),
+            "no deadlock diagnostics in {fails:?}"
+        );
     }
 
     #[test]

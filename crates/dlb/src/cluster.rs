@@ -5,10 +5,11 @@
 //! the paper runs on two nodes of each cluster, so the rank→node mapping
 //! matters for how much imbalance DLB can absorb.
 
-use crate::lewi::{DlbEvent, DlbNode, DlbStats};
+use crate::lewi::{DlbEvent, DlbNode, DlbStats, GrantPolicy, LendPolicy};
 use cfpd_runtime::ThreadPool;
 use cfpd_simmpi::{BlockKind, MpiHooks};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// DLB for a whole virtual cluster: one [`DlbNode`] per node plus the
 /// rank→node map. Implements [`MpiHooks`] so it can be passed directly
@@ -25,11 +26,32 @@ impl DlbCluster {
     /// of `num_ranks` ranks over them (ranks 0..r/n on node 0, etc. —
     /// the usual scheduler placement).
     pub fn new_block(num_ranks: usize, num_nodes: usize) -> DlbCluster {
+        Self::new_block_with(
+            num_ranks,
+            num_nodes,
+            LendPolicy::default(),
+            GrantPolicy::default(),
+            None,
+        )
+    }
+
+    /// Block distribution with explicit LeWI policies and an optional
+    /// lending lease (see [`DlbNode::sweep_leases`]) — the resilient
+    /// configuration used by chaos runs.
+    pub fn new_block_with(
+        num_ranks: usize,
+        num_nodes: usize,
+        lend: LendPolicy,
+        grant: GrantPolicy,
+        lease: Option<Duration>,
+    ) -> DlbCluster {
         assert!(num_nodes >= 1);
         let per = num_ranks.div_ceil(num_nodes);
         let node_of_rank = (0..num_ranks).map(|r| r / per).collect();
         DlbCluster {
-            nodes: (0..num_nodes).map(|_| DlbNode::new()).collect(),
+            nodes: (0..num_nodes)
+                .map(|_| DlbNode::with_lease(lend, grant, lease))
+                .collect(),
             node_of_rank,
             enabled: true,
         }
@@ -98,8 +120,25 @@ impl DlbCluster {
             total.grants += s.grants;
             total.revokes += s.revokes;
             total.cores_lent_total += s.cores_lent_total;
+            total.lease_expiries += s.lease_expiries;
+            total.crashes += s.crashes;
         }
         total
+    }
+
+    /// Declare a rank crashed on its node (fail-silent degradation).
+    pub fn mark_crashed(&self, rank: usize) {
+        if self.enabled && rank < self.node_of_rank.len() {
+            self.nodes[self.node_of_rank[rank]].mark_crashed(rank);
+        }
+    }
+
+    /// Sweep lending leases on every node; returns total ranks swept.
+    pub fn sweep_leases(&self) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        self.nodes.iter().map(|n| n.sweep_leases()).sum()
     }
 }
 
@@ -114,6 +153,18 @@ impl MpiHooks for DlbCluster {
         if self.enabled && rank < self.node_of_rank.len() {
             self.nodes[self.node_of_rank[rank]].reclaim(rank);
         }
+    }
+
+    /// A timeout-carrying wait expired somewhere: a natural moment to
+    /// check whether any blocked peer has overstayed its lease.
+    fn on_timeout(&self, _rank: usize, _kind: BlockKind) {
+        self.sweep_leases();
+    }
+
+    /// The fabric declared a rank dead: degrade gracefully by donating
+    /// its cores to the survivors on its node.
+    fn on_rank_dead(&self, rank: usize) {
+        self.mark_crashed(rank);
     }
 }
 

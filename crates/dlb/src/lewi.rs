@@ -7,11 +7,18 @@
 //! [`cfpd_runtime::ThreadPool::set_active`]). When the blocked rank
 //! returns, it *reclaims* its cores, shrinking borrowers back.
 
+//! Graceful degradation under faults: a stalled rank's *kept* core is
+//! donated once a lease timeout expires ([`DlbNode::sweep_leases`]),
+//! and a crashed rank's whole allotment is permanently redistributed
+//! ([`DlbNode::mark_crashed`]) — in both cases preserving LeWI's core
+//! conservation (no core is ever minted; reclaim takes back exactly
+//! what was actually lent, tracked per rank in `lent_out`).
+
 use cfpd_runtime::ThreadPool;
 use cfpd_testkit::sync::Mutex;
 use std::collections::BTreeMap;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// What happened on the node, with a timestamp relative to node
 /// creation — this is the event stream rendered for the paper's Fig. 5.
@@ -25,6 +32,12 @@ pub enum DlbEventKind {
     Reclaim { cores: usize },
     /// Rank had borrowed cores revoked (its pool shrank to `active`).
     Revoke { cores: usize, active: usize },
+    /// Rank overstayed its lending lease while blocked: its kept
+    /// core(s) were forcibly donated to the node.
+    LeaseExpired { cores: usize },
+    /// Rank was declared crashed: its entire allotment was permanently
+    /// donated to the node.
+    Crashed { cores: usize },
 }
 
 /// Timestamped DLB event.
@@ -40,6 +53,16 @@ struct RankSlot {
     owned: usize,
     borrowed: usize,
     blocked: bool,
+    /// Cores this rank has actually handed to the node and not yet
+    /// reclaimed. Reclaim takes back exactly this much — never a
+    /// recomputed `owned - keep`, which would mint cores after a lease
+    /// sweep donated the kept core.
+    lent_out: usize,
+    /// When the rank entered its current blocking call (lease clock).
+    blocked_since: Option<Instant>,
+    /// Crashed ranks are out of the game: lend/reclaim ignore them and
+    /// their allotment belongs to the node forever.
+    crashed: bool,
 }
 
 struct NodeState {
@@ -56,6 +79,8 @@ pub struct DlbStats {
     pub grants: usize,
     pub revokes: usize,
     pub cores_lent_total: usize,
+    pub lease_expiries: usize,
+    pub crashes: usize,
 }
 
 /// Lending behaviour when a rank blocks in MPI (DLB's `LEWI_KEEP_ONE_CPU`).
@@ -88,6 +113,9 @@ pub struct DlbNode {
     epoch: Instant,
     lend_policy: LendPolicy,
     grant_policy: GrantPolicy,
+    /// How long a blocked rank may sit on its kept core before a lease
+    /// sweep donates it. `None` disables lease expiry.
+    lease: Option<Duration>,
 }
 
 impl DlbNode {
@@ -97,6 +125,17 @@ impl DlbNode {
 
     /// Create a node arbiter with explicit policies.
     pub fn with_policies(lend: LendPolicy, grant: GrantPolicy) -> Arc<DlbNode> {
+        Self::with_lease(lend, grant, None)
+    }
+
+    /// Create a node arbiter with explicit policies and a lending lease:
+    /// a rank blocked longer than `lease` has its kept core(s) donated
+    /// by [`DlbNode::sweep_leases`].
+    pub fn with_lease(
+        lend: LendPolicy,
+        grant: GrantPolicy,
+        lease: Option<Duration>,
+    ) -> Arc<DlbNode> {
         Arc::new(DlbNode {
             state: Mutex::new(NodeState { ranks: BTreeMap::new(), free_lent: 0 }),
             events: Mutex::new(Vec::new()),
@@ -104,6 +143,7 @@ impl DlbNode {
             epoch: Instant::now(),
             lend_policy: lend,
             grant_policy: grant,
+            lease,
         })
     }
 
@@ -117,9 +157,18 @@ impl DlbNode {
         assert!(owned >= 1, "a rank owns at least one core");
         pool.set_active(owned);
         let mut st = self.state.lock();
-        let prev = st
-            .ranks
-            .insert(rank, RankSlot { pool, owned, borrowed: 0, blocked: false });
+        let prev = st.ranks.insert(
+            rank,
+            RankSlot {
+                pool,
+                owned,
+                borrowed: 0,
+                blocked: false,
+                lent_out: 0,
+                blocked_since: None,
+                crashed: false,
+            },
+        );
         assert!(prev.is_none(), "rank {rank} registered twice");
     }
 
@@ -130,15 +179,17 @@ impl DlbNode {
             Some(s) => s,
             None => return, // unregistered rank (e.g. DLB off for it)
         };
-        if slot.blocked {
+        if slot.blocked || slot.crashed {
             return; // nested blocking (collective built on recv): ignore
         }
         slot.blocked = true;
+        slot.blocked_since = Some(Instant::now());
         // A blocked rank has no use for borrowed cores either.
         let returned = slot.borrowed;
         slot.borrowed = 0;
         let keep = if self.lend_policy == LendPolicy::KeepOne { 1 } else { 0 };
         let lent = slot.owned.saturating_sub(keep);
+        slot.lent_out = lent;
         slot.pool.set_active(keep.max(1));
         st.free_lent += lent + returned;
         drop(st);
@@ -162,12 +213,15 @@ impl DlbNode {
             Some(s) => s,
             None => return,
         };
-        if !slot.blocked {
+        if !slot.blocked || slot.crashed {
             return;
         }
         slot.blocked = false;
-        let keep = if self.lend_policy == LendPolicy::KeepOne { 1 } else { 0 };
-        let mut need = slot.owned.saturating_sub(keep);
+        slot.blocked_since = None;
+        // Take back exactly what was lent — including a kept core a
+        // lease sweep donated mid-block — so no core is ever minted.
+        let mut need = slot.lent_out;
+        slot.lent_out = 0;
         slot.pool.set_active(slot.owned);
         let from_free = need.min(st.free_lent);
         st.free_lent -= from_free;
@@ -217,7 +271,107 @@ impl DlbNode {
         s.revokes += revocations.len();
     }
 
-    /// Distribute the free lent cores evenly among non-blocked ranks.
+    /// Declare a rank crashed (fail-silent): everything it still holds
+    /// — kept core, unlent cores, borrowed cores — is donated to the
+    /// node permanently and the rank is excluded from future
+    /// lend/reclaim traffic. Idempotent. The rank's own pool is floored
+    /// at one worker (a pool cannot run with zero executors).
+    pub fn mark_crashed(&self, rank: usize) {
+        let mut st = self.state.lock();
+        let slot = match st.ranks.get_mut(&rank) {
+            Some(s) => s,
+            None => return,
+        };
+        if slot.crashed {
+            return;
+        }
+        slot.crashed = true;
+        slot.blocked = true; // never a grant recipient again
+        slot.blocked_since = None;
+        let donated = slot.owned.saturating_sub(slot.lent_out) + slot.borrowed;
+        slot.borrowed = 0;
+        slot.lent_out = slot.owned;
+        slot.pool.set_active(1);
+        st.free_lent += donated;
+        drop(st);
+        {
+            let mut ev = self.events.lock();
+            ev.push(DlbEvent {
+                t: self.now(),
+                rank,
+                kind: DlbEventKind::Crashed { cores: donated },
+            });
+        }
+        {
+            let mut s = self.stats.lock();
+            s.crashes += 1;
+            s.cores_lent_total += donated;
+        }
+        self.redistribute();
+    }
+
+    /// Sweep the lending leases: any rank blocked longer than the
+    /// node's lease has its kept core(s) donated so the node can keep
+    /// working around a stalled peer. No-op without a configured lease.
+    /// Returns how many ranks were swept.
+    pub fn sweep_leases(&self) -> usize {
+        let Some(lease) = self.lease else { return 0 };
+        let mut st = self.state.lock();
+        let mut swept: Vec<(usize, usize)> = Vec::new(); // (rank, donated)
+        for (&rank, slot) in st.ranks.iter_mut() {
+            if slot.crashed || !slot.blocked {
+                continue;
+            }
+            let overdue = slot.blocked_since.is_some_and(|t0| t0.elapsed() >= lease);
+            let held = slot.owned.saturating_sub(slot.lent_out);
+            if overdue && held > 0 {
+                slot.lent_out += held;
+                slot.pool.set_active(1); // floor; the core itself is gone
+                swept.push((rank, held));
+            }
+        }
+        for &(_, donated) in &swept {
+            st.free_lent += donated;
+        }
+        drop(st);
+        if swept.is_empty() {
+            return 0;
+        }
+        let t = self.now();
+        {
+            let mut ev = self.events.lock();
+            for &(rank, donated) in &swept {
+                ev.push(DlbEvent { t, rank, kind: DlbEventKind::LeaseExpired { cores: donated } });
+            }
+        }
+        {
+            let mut s = self.stats.lock();
+            s.lease_expiries += swept.len();
+            s.cores_lent_total += swept.iter().map(|&(_, d)| d).sum::<usize>();
+        }
+        self.redistribute();
+        swept.len()
+    }
+
+    /// Core-conservation check for tests: total active workers across
+    /// pools never exceed total owned cores plus the pool floor of each
+    /// fully-lent (blocked-LendAll, lease-swept, or crashed) rank, and
+    /// unaccounted free cores are non-negative.
+    pub fn conservation(&self) -> (usize, usize) {
+        let st = self.state.lock();
+        let total_owned: usize = st.ranks.values().map(|s| s.owned).sum();
+        let mut budget = total_owned;
+        let mut active = 0usize;
+        for s in st.ranks.values() {
+            active += s.pool.active();
+            // A rank whose entire allotment is lent away still runs a
+            // single floor worker that owns no core.
+            if s.lent_out >= s.owned {
+                budget += 1;
+            }
+        }
+        (active + st.free_lent, budget)
+    }
     fn redistribute(&self) {
         let mut st = self.state.lock();
         if st.free_lent == 0 {
@@ -435,6 +589,98 @@ mod tests {
         assert!(a2 >= a1 - 1, "neediest should roughly equalize: {a1} vs {a2}");
         node.reclaim(0);
         assert_eq!(node.active_of(2), Some(1));
+    }
+
+    fn assert_conserved(node: &DlbNode) {
+        let (held, budget) = node.conservation();
+        assert_eq!(held, budget, "core conservation violated");
+    }
+
+    #[test]
+    fn lease_sweep_donates_the_kept_core_and_reclaim_recovers() {
+        let node = DlbNode::with_lease(
+            LendPolicy::KeepOne,
+            GrantPolicy::Even,
+            Some(Duration::ZERO), // every blocked rank is instantly overdue
+        );
+        node.register(0, pool(8), 4);
+        node.register(1, pool(8), 4);
+        node.lend(0); // lends 3, keeps 1
+        assert_eq!(node.active_of(1), Some(7));
+        assert_conserved(&node);
+        assert_eq!(node.sweep_leases(), 1); // the kept core goes too
+        assert_eq!(node.active_of(1), Some(8));
+        assert_eq!(node.active_of(0), Some(1), "floor worker only");
+        assert_conserved(&node);
+        // Reclaim must take back owned cores exactly — including the
+        // swept one — with no core minted or lost.
+        node.reclaim(0);
+        assert_eq!(node.active_of(0), Some(4));
+        assert_eq!(node.active_of(1), Some(4));
+        assert_conserved(&node);
+        let stats = node.stats();
+        assert_eq!(stats.lease_expiries, 1);
+        assert!(node
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, DlbEventKind::LeaseExpired { cores: 1 })));
+    }
+
+    #[test]
+    fn lease_sweep_is_a_noop_without_a_lease_or_under_lend_all() {
+        let node = DlbNode::new(); // no lease configured
+        node.register(0, pool(4), 2);
+        node.lend(0);
+        assert_eq!(node.sweep_leases(), 0);
+        // LendAll already lends everything: nothing left to sweep.
+        let node = DlbNode::with_lease(
+            LendPolicy::LendAll,
+            GrantPolicy::Even,
+            Some(Duration::ZERO),
+        );
+        node.register(0, pool(4), 2);
+        node.register(1, pool(4), 2);
+        node.lend(0);
+        assert_eq!(node.sweep_leases(), 0);
+        assert_conserved(&node);
+    }
+
+    #[test]
+    fn crashed_rank_donates_everything_permanently() {
+        let node = DlbNode::new();
+        node.register(0, pool(8), 4);
+        node.register(1, pool(8), 4);
+        node.mark_crashed(0);
+        assert_eq!(node.active_of(1), Some(8), "survivor gets the allotment");
+        assert_eq!(node.active_of(0), Some(1), "floor worker only");
+        assert_conserved(&node);
+        // Idempotent, and lend/reclaim from the dead rank are ignored.
+        node.mark_crashed(0);
+        node.lend(0);
+        node.reclaim(0);
+        assert_eq!(node.active_of(1), Some(8));
+        assert_eq!(node.stats().crashes, 1);
+        assert_conserved(&node);
+    }
+
+    #[test]
+    fn crash_of_a_blocked_rank_donates_only_the_kept_core() {
+        let node = DlbNode::new();
+        node.register(0, pool(8), 4);
+        node.register(1, pool(8), 4);
+        node.lend(0); // 3 lent, 1 kept
+        node.mark_crashed(0); // the kept core follows
+        assert_eq!(node.active_of(1), Some(8));
+        assert_conserved(&node);
+        let crashed_cores: usize = node
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                DlbEventKind::Crashed { cores } => Some(cores),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(crashed_cores, 1);
     }
 
     #[test]

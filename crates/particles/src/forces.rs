@@ -4,7 +4,7 @@
 use cfpd_mesh::Vec3;
 
 /// Properties of one aerosol particle species.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParticleProps {
     /// Diameter d_p [m]. Therapeutic aerosols: 1–10 µm.
     pub diameter: f64,

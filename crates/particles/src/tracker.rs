@@ -28,7 +28,7 @@ pub enum ParticleState {
 
 /// Structure-of-arrays particle storage (cache-friendly for the per-step
 /// sweep, as a production tracking code uses).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ParticleSet {
     pub pos: Vec<Vec3>,
     pub vel: Vec<Vec3>,

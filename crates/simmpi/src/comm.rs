@@ -6,39 +6,178 @@
 //! (source, tag) message arrives, collectives block all participants,
 //! and `split` creates disjoint sub-communicators — the mechanism the
 //! coupled fluid/particle execution mode uses (Fig. 3).
+//!
+//! Failure-awareness (the chaos layer):
+//!
+//! * every message carries a per-(source, dest, tag)-stream **sequence
+//!   number** and receivers consume a stream *strictly in sequence
+//!   order*, waiting out any gap (a delayed or pending-redelivery
+//!   message) — MPI's non-overtaking rule enforced structurally, so
+//!   injected queue reordering and redelivered drops can never change
+//!   what a receive returns, only when it returns;
+//! * `send` consults [`MpiHooks::on_send`], the attachment point of the
+//!   seeded fault plan ([`crate::fault`]);
+//! * blocking waits sleep in short poll slices, registering what they
+//!   wait on in the universe's [`UniverseDiag`]; a confirmed wedge
+//!   yields a structured [`DeadlockReport`] instead of a hang, and the
+//!   timeout-carrying variants (`recv_timeout`, `barrier_timeout`,
+//!   `allreduce_slice_f64_timeout`) surface a [`CommError`] the caller
+//!   can handle.
 
+use crate::diag::{DeadlockReport, UniverseDiag, WaitInfo};
+use crate::fault::FaultAction;
 use crate::hooks::{BlockKind, MpiHooks, NoHooks};
 use cfpd_testkit::sync::{Condvar, Mutex};
 use std::any::Any;
+use std::fmt;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long a blocking operation may wait before the universe declares a
-/// deadlock (tests rely on this to fail fast instead of hanging).
+/// deadlock (tests rely on this to fail fast instead of hanging). The
+/// wait-registry detector usually fires far sooner; this is the
+/// backstop for waits it cannot see (helper threads).
 pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Blocked ranks re-examine the world (deadline, deadlock verdict) at
+/// this cadence. Wake-ups on message arrival are immediate via the
+/// condvar; the slice only bounds detection latency.
+const POLL_SLICE: Duration = Duration::from_millis(20);
+
+/// Panic payload of a fail-silent rank crash: the rank's thread unwinds
+/// with this instead of blocking forever once it has been declared dead
+/// by the fault plan. [`crate::Universe::run_fallible`] classifies it.
+pub struct CrashUnwind(pub usize);
+
+/// Error of a timeout-carrying communication call.
+#[derive(Debug)]
+pub enum CommError {
+    /// The deadline expired with no matching message. `in_flight` lists
+    /// the `(src, tag)` pairs sitting unmatched in the inbox — the
+    /// "what arrived instead" half of the diagnostic.
+    Timeout {
+        src: usize,
+        tag: u64,
+        waited: Duration,
+        in_flight: Vec<(usize, u64)>,
+    },
+    /// The whole universe is wedged; the report names every rank's wait.
+    Deadlock(Arc<DeadlockReport>),
+}
+
+fn fmt_in_flight(list: &[(usize, u64)]) -> String {
+    list.iter()
+        .map(|(s, t)| format!("{t} from {s}"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+impl fmt::Display for CommError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommError::Timeout { src, tag, waited, in_flight } => write!(
+                f,
+                "timeout after {waited:?}: expected tag {tag} from rank {src}, in-flight tags: [{}]",
+                fmt_in_flight(in_flight)
+            ),
+            CommError::Deadlock(report) => write!(f, "{}", report.render()),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 type Payload = Box<dyn Any + Send>;
 
 struct Msg {
     src: usize,
     tag: u64,
+    /// Per-(src, dest, tag)-stream sequence number; receivers consume a
+    /// stream strictly in sequence order, so queue position never
+    /// carries meaning and a gap (pending redelivery) is waited out
+    /// instead of overtaken.
+    seq: u64,
     payload: Payload,
 }
 
 #[derive(Default)]
+struct InboxState {
+    queue: Vec<Msg>,
+    /// Next-expected sequence per (src, tag) stream.
+    consumed: std::collections::HashMap<(usize, u64), u64>,
+}
+
+impl InboxState {
+    /// Position of the next in-order message of stream `(src, tag)`, if
+    /// it has arrived.
+    fn match_pos(&self, src: usize, tag: u64) -> Option<usize> {
+        let expected = *self.consumed.get(&(src, tag)).unwrap_or(&0);
+        self.queue
+            .iter()
+            .position(|m| m.src == src && m.tag == tag && m.seq == expected)
+    }
+
+    /// Consume the message at `pos`, advancing its stream cursor.
+    fn take(&mut self, pos: usize) -> Msg {
+        let msg = self.queue.remove(pos);
+        *self.consumed.entry((msg.src, msg.tag)).or_insert(0) += 1;
+        msg
+    }
+}
+
+#[derive(Default)]
 struct Inbox {
-    queue: Mutex<Vec<Msg>>,
+    state: Mutex<InboxState>,
     cv: Condvar,
 }
 
 /// Shared state of one communicator.
 pub(crate) struct CommState {
+    /// Universe-unique id (0 = world; `split` allocates fresh ones) —
+    /// keys the fault plan's per-message decisions.
+    comm_id: u64,
+    /// Map from communicator-local rank to universe-global rank.
+    global_ranks: Vec<usize>,
     inboxes: Vec<Inbox>,
+    /// Per-(src, dest, tag)-stream send counters.
+    seqs: Mutex<std::collections::HashMap<(usize, usize, u64), u64>>,
 }
 
 impl CommState {
-    pub(crate) fn new(size: usize) -> Arc<CommState> {
-        Arc::new(CommState { inboxes: (0..size).map(|_| Inbox::default()).collect() })
+    pub(crate) fn new(global_ranks: Vec<usize>, comm_id: u64) -> Arc<CommState> {
+        let n = global_ranks.len();
+        Arc::new(CommState {
+            comm_id,
+            global_ranks,
+            inboxes: (0..n).map(|_| Inbox::default()).collect(),
+            seqs: Mutex::new(std::collections::HashMap::new()),
+        })
+    }
+
+    /// Allocate the next sequence number of stream `(src, dest, tag)`.
+    fn next_seq(&self, src: usize, dest: usize, tag: u64) -> u64 {
+        let mut seqs = self.seqs.lock();
+        let slot = seqs.entry((src, dest, tag)).or_insert(0);
+        let seq = *slot;
+        *slot += 1;
+        seq
+    }
+
+    /// Enqueue at the back, or at a fault-chosen position for injected
+    /// reordering (harmless: matching is by sequence, not position).
+    fn enqueue(&self, dest: usize, msg: Msg, slot: Option<u64>, diag: &UniverseDiag) {
+        let inbox = &self.inboxes[dest];
+        let mut state = inbox.state.lock();
+        match slot {
+            Some(s) => {
+                let pos = (s as usize) % (state.queue.len() + 1);
+                state.queue.insert(pos, msg);
+            }
+            None => state.queue.push(msg),
+        }
+        drop(state);
+        diag.bump_progress();
+        inbox.cv.notify_all();
     }
 }
 
@@ -54,6 +193,11 @@ pub struct Comm {
     global_rank: usize,
     state: Arc<CommState>,
     hooks: Arc<dyn MpiHooks>,
+    diag: Arc<UniverseDiag>,
+    /// Set on handles cloned for helper threads (`irecv`): helpers must
+    /// not touch the rank's Running/Blocked registration — only the
+    /// main thread's state feeds the deadlock detector.
+    helper: bool,
 }
 
 /// Reduction operators for the `allreduce` family.
@@ -82,8 +226,9 @@ impl Comm {
         global_rank: usize,
         state: Arc<CommState>,
         hooks: Arc<dyn MpiHooks>,
+        diag: Arc<UniverseDiag>,
     ) -> Comm {
-        Comm { rank, size, global_rank, state, hooks }
+        Comm { rank, size, global_rank, state, hooks, diag, helper: false }
     }
 
     /// Duplicate this handle (same communicator, same rank) — used by
@@ -95,13 +240,22 @@ impl Comm {
             global_rank: self.global_rank,
             state: Arc::clone(&self.state),
             hooks: Arc::clone(&self.hooks),
+            diag: Arc::clone(&self.diag),
+            helper: true,
         }
     }
 
     /// Standalone single-rank communicator (useful in unit tests of
     /// higher layers that need a `Comm` but no communication).
     pub fn solo() -> Comm {
-        Comm::new(0, 1, 0, CommState::new(1), Arc::new(NoHooks))
+        Comm::new(
+            0,
+            1,
+            0,
+            CommState::new(vec![0], 0),
+            Arc::new(NoHooks),
+            UniverseDiag::new(1),
+        )
     }
 
     /// This rank's id within the communicator.
@@ -122,62 +276,237 @@ impl Comm {
         self.global_rank
     }
 
+    /// The universe's diagnostic registry (wait states, deadlock
+    /// verdict) — exposed for tests and the chaos CLI.
+    pub fn diag(&self) -> &Arc<UniverseDiag> {
+        &self.diag
+    }
+
     /// Buffered asynchronous send of any `Send` value to `dest`.
+    ///
+    /// The fault plan (if any) may delay, reorder, drop-and-redeliver
+    /// or swallow the message here; a rank declared crashed sends
+    /// nothing at all (fail-silent).
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, value: T) {
         assert!(dest < self.size, "send to rank {dest} of {}", self.size);
-        let inbox = &self.state.inboxes[dest];
-        inbox.queue.lock().push(Msg { src: self.rank, tag, payload: Box::new(value) });
-        inbox.cv.notify_all();
+        if self.diag.is_dead(self.global_rank) {
+            return; // fail-silent: a dead rank's sends vanish
+        }
+        let seq = self.state.next_seq(self.rank, dest, tag);
+        let g_src = self.global_rank;
+        let g_dest = self.state.global_ranks[dest];
+        let msg = Msg { src: self.rank, tag, seq, payload: Box::new(value) };
+        match self.hooks.on_send(self.state.comm_id, g_src, g_dest, tag, seq) {
+            FaultAction::Deliver => self.state.enqueue(dest, msg, None, &self.diag),
+            FaultAction::Delay { ms } => {
+                // A slow link: the sender-side stall also delays every
+                // later message on this edge, like a congested channel.
+                std::thread::sleep(Duration::from_millis(ms));
+                self.state.enqueue(dest, msg, None, &self.diag);
+            }
+            FaultAction::Reorder { slot } => {
+                self.state.enqueue(dest, msg, Some(slot), &self.diag)
+            }
+            FaultAction::DropRedeliver { after_ms } => {
+                // Held in flight: the deadlock detector must not fire
+                // while the retransmission is pending.
+                self.diag.chaos_hold();
+                let state = Arc::clone(&self.state);
+                let diag = Arc::clone(&self.diag);
+                std::thread::Builder::new()
+                    .name("chaos-redeliver".into())
+                    .spawn(move || {
+                        std::thread::sleep(Duration::from_millis(after_ms));
+                        state.enqueue(dest, msg, None, &diag);
+                        diag.chaos_release();
+                    })
+                    .expect("spawn chaos redelivery");
+            }
+            FaultAction::DropForever => {}
+            FaultAction::SenderCrashed => {
+                self.diag.mark_dead(g_src);
+                self.hooks.on_rank_dead(g_src);
+            }
+        }
+    }
+
+    /// The `(src, tag)` pairs currently sitting unmatched in this
+    /// rank's inbox (communicator-local source ranks).
+    fn inbox_snapshot(&self) -> Vec<(usize, u64)> {
+        self.state.inboxes[self.rank]
+            .state
+            .lock()
+            .queue
+            .iter()
+            .map(|m| (m.src, m.tag))
+            .collect()
+    }
+
+    /// The blocking core: wait for the *next in-sequence* message of
+    /// stream `(src, tag)` until `deadline`, registering the wait with
+    /// the universe's deadlock detector.
+    fn recv_inner<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        kind: BlockKind,
+        deadline: Instant,
+    ) -> Result<T, CommError> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let inbox = &self.state.inboxes[self.rank];
+        let start = Instant::now();
+        let mut blocked = false;
+        loop {
+            let mut queue = inbox.state.lock();
+            // Strict in-sequence consumption: MPI's non-overtaking rule,
+            // immune to queue-order faults; a gap (delayed or
+            // pending-redelivery message) is waited out, never skipped.
+            if let Some(pos) = queue.match_pos(src, tag) {
+                let msg = queue.take(pos);
+                drop(queue);
+                self.diag.bump_progress();
+                if blocked {
+                    if !self.helper {
+                        self.diag.end_wait(self.global_rank);
+                    }
+                    self.hooks.on_unblock(self.global_rank, kind);
+                }
+                return Ok(*msg.payload.downcast::<T>().unwrap_or_else(|_| {
+                    panic!("rank {}: recv type mismatch from {src} tag {tag}", self.rank)
+                }));
+            }
+            if !self.helper && self.diag.is_dead(self.global_rank) {
+                drop(queue);
+                std::panic::panic_any(CrashUnwind(self.global_rank));
+            }
+            if let Some(report) = self.diag.deadlock() {
+                return Err(CommError::Deadlock(report));
+            }
+            if !blocked {
+                blocked = true;
+                if !self.helper {
+                    self.diag.begin_wait(
+                        self.global_rank,
+                        WaitInfo {
+                            kind,
+                            src: self.state.global_ranks[src],
+                            tag,
+                            comm_id: self.state.comm_id,
+                        },
+                    );
+                }
+                self.hooks.on_block(self.global_rank, kind);
+            }
+            let timed_out = inbox.cv.wait_for(&mut queue, POLL_SLICE).timed_out();
+            if !timed_out {
+                continue; // notified: re-check the queue immediately
+            }
+            let in_flight: Vec<(usize, u64)> =
+                queue.queue.iter().map(|m| (m.src, m.tag)).collect();
+            drop(queue);
+            if !self.helper {
+                self.diag.note_in_flight(
+                    self.global_rank,
+                    in_flight
+                        .iter()
+                        .map(|&(s, t)| (self.state.global_ranks[s], t))
+                        .collect(),
+                );
+                if let Some(report) = self.diag.poll_deadlock() {
+                    return Err(CommError::Deadlock(report));
+                }
+            }
+            if Instant::now() >= deadline {
+                if !self.helper {
+                    self.diag.end_wait(self.global_rank);
+                }
+                self.hooks.on_timeout(self.global_rank, kind);
+                self.hooks.on_unblock(self.global_rank, kind);
+                return Err(CommError::Timeout { src, tag, waited: start.elapsed(), in_flight });
+            }
+        }
     }
 
     /// Blocking receive of the next message from `src` with tag `tag`.
     /// Panics if the payload type does not match `T` (a programming
-    /// error in the protocol) or on deadlock timeout.
+    /// error in the protocol); a wedged universe or 60 s timeout panics
+    /// with a "who waits on whom" diagnostic instead of hanging.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> T {
-        assert!(src < self.size, "recv from rank {src} of {}", self.size);
-        let inbox = &self.state.inboxes[self.rank];
-        let mut queue = inbox.queue.lock();
-        let mut blocked = false;
-        loop {
-            if let Some(pos) = queue.iter().position(|m| m.src == src && m.tag == tag) {
-                let msg = queue.remove(pos);
-                drop(queue);
-                if blocked {
-                    self.hooks.on_unblock(self.global_rank, BlockKind::Recv);
-                }
-                return *msg.payload.downcast::<T>().unwrap_or_else(|_| {
-                    panic!("rank {}: recv type mismatch from {src} tag {tag}", self.rank)
-                });
-            }
-            if !blocked {
-                blocked = true;
-                self.hooks.on_block(self.global_rank, BlockKind::Recv);
-            }
-            if inbox.cv.wait_for(&mut queue, DEADLOCK_TIMEOUT).timed_out() {
-                panic!(
-                    "rank {}: deadlock waiting for message from {src} tag {tag}",
-                    self.rank
-                );
-            }
+        match self.recv_inner(src, tag, BlockKind::Recv, Instant::now() + DEADLOCK_TIMEOUT) {
+            Ok(v) => v,
+            Err(e) => panic!(
+                "rank {}: deadlock waiting for message from {src} tag {tag}; \
+                 expected tag {tag} from rank {src}, in-flight tags: [{}]\n{e}",
+                self.rank,
+                fmt_in_flight(&self.inbox_snapshot())
+            ),
         }
+    }
+
+    /// Receive with an explicit deadline: `Err(CommError::Timeout)`
+    /// after `timeout` with no match, `Err(CommError::Deadlock)` if the
+    /// universe wedges first.
+    pub fn recv_timeout<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<T, CommError> {
+        self.recv_inner(src, tag, BlockKind::Recv, Instant::now() + timeout)
+    }
+
+    /// Non-blocking probe-and-consume: the next in-sequence message of
+    /// the stream if it has already arrived, `None` otherwise (including
+    /// when only out-of-sequence successors are here). Never blocks,
+    /// never fires hooks.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<T> {
+        assert!(src < self.size, "recv from rank {src} of {}", self.size);
+        let mut queue = self.state.inboxes[self.rank].state.lock();
+        let pos = queue.match_pos(src, tag)?;
+        let msg = queue.take(pos);
+        drop(queue);
+        self.diag.bump_progress();
+        Some(*msg.payload.downcast::<T>().unwrap_or_else(|_| {
+            panic!("rank {}: recv type mismatch from {src} tag {tag}", self.rank)
+        }))
+    }
+
+    /// Internal receive for collective plumbing.
+    fn recv_coll<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        kind: BlockKind,
+        deadline: Instant,
+    ) -> Result<T, CommError> {
+        self.recv_inner(src, tag, kind, deadline)
     }
 
     /// Barrier across all ranks of the communicator (dissemination over
     /// point-to-point messages; correctness over cleverness).
     pub fn barrier(&self) {
-        self.barrier_tagged(u64::MAX - 1);
+        if let Err(e) = self.barrier_inner(Instant::now() + DEADLOCK_TIMEOUT) {
+            panic!("rank {}: barrier failed: {e}", self.rank);
+        }
     }
 
-    fn barrier_tagged(&self, tag: u64) {
+    /// Barrier with a deadline shared across all rounds.
+    pub fn barrier_timeout(&self, timeout: Duration) -> Result<(), CommError> {
+        self.barrier_inner(Instant::now() + timeout)
+    }
+
+    fn barrier_inner(&self, deadline: Instant) -> Result<(), CommError> {
+        let tag = u64::MAX - 1;
         // Dissemination barrier: log2(size) rounds.
         let mut round = 1usize;
         while round < self.size {
             let dest = (self.rank + round) % self.size;
             let src = (self.rank + self.size - round) % self.size;
             self.send(dest, tag.wrapping_add(round as u64), ());
-            self.recv::<()>(src, tag.wrapping_add(round as u64));
+            self.recv_coll::<()>(src, tag.wrapping_add(round as u64), BlockKind::Barrier, deadline)?;
             round *= 2;
         }
+        Ok(())
     }
 
     /// All-reduce a scalar.
@@ -187,13 +516,47 @@ impl Comm {
         buf[0]
     }
 
+    /// All-reduce a scalar with a deadline.
+    pub fn allreduce_f64_timeout(
+        &self,
+        value: f64,
+        op: ReduceOp,
+        timeout: Duration,
+    ) -> Result<f64, CommError> {
+        let mut buf = [value];
+        self.allreduce_slice_f64_timeout(&mut buf, op, timeout)?;
+        Ok(buf[0])
+    }
+
     /// All-reduce a slice in place (every rank ends with the reduction).
     pub fn allreduce_slice_f64(&self, values: &mut [f64], op: ReduceOp) {
+        if let Err(e) = self.allreduce_inner(values, op, Instant::now() + DEADLOCK_TIMEOUT) {
+            panic!("rank {}: allreduce failed: {e}", self.rank);
+        }
+    }
+
+    /// All-reduce a slice with a deadline shared across both phases.
+    pub fn allreduce_slice_f64_timeout(
+        &self,
+        values: &mut [f64],
+        op: ReduceOp,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        self.allreduce_inner(values, op, Instant::now() + timeout)
+    }
+
+    fn allreduce_inner(
+        &self,
+        values: &mut [f64],
+        op: ReduceOp,
+        deadline: Instant,
+    ) -> Result<(), CommError> {
         const TAG: u64 = u64::MAX - 2;
         // Reduce to rank 0, then broadcast.
         if self.rank == 0 {
             for src in 1..self.size {
-                let part: Vec<f64> = self.recv(src, TAG);
+                let part: Vec<f64> =
+                    self.recv_coll(src, TAG, BlockKind::Collective, deadline)?;
                 assert_eq!(part.len(), values.len(), "allreduce length mismatch");
                 for (v, p) in values.iter_mut().zip(part) {
                     *v = op.apply(*v, p);
@@ -204,9 +567,10 @@ impl Comm {
             }
         } else {
             self.send(0, TAG, values.to_vec());
-            let result: Vec<f64> = self.recv(0, TAG);
+            let result: Vec<f64> = self.recv_coll(0, TAG, BlockKind::Collective, deadline)?;
             values.copy_from_slice(&result);
         }
+        Ok(())
     }
 
     /// Broadcast a cloneable value from `root` to every rank; each rank
@@ -270,14 +634,23 @@ impl Comm {
                     group.push(pairs[i].2);
                     i += 1;
                 }
-                let state = CommState::new(group.len());
+                let globals: Vec<usize> =
+                    group.iter().map(|&old| self.state.global_ranks[old]).collect();
+                let state = CommState::new(globals, self.diag.next_comm_id());
                 for (new_rank, &old_rank) in group.iter().enumerate() {
                     self.send(old_rank, TAG, (new_rank, group.len(), Arc::clone(&state)));
                 }
             }
         }
         let (new_rank, new_size, state): (usize, usize, Arc<CommState>) = self.recv(0, TAG);
-        Comm::new(new_rank, new_size, self.global_rank, state, Arc::clone(&self.hooks))
+        Comm::new(
+            new_rank,
+            new_size,
+            self.global_rank,
+            state,
+            Arc::clone(&self.hooks),
+            Arc::clone(&self.diag),
+        )
     }
 }
 
@@ -309,6 +682,73 @@ mod tests {
                 let b: u32 = comm.recv(0, 2);
                 let a: u32 = comm.recv(0, 1);
                 assert_eq!((a, b), (10, 20));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_consumes_same_stream_in_send_order_despite_queue_order() {
+        // Messages on one (src, tag) stream must come out in send order
+        // even if the queue is physically scrambled — the non-overtaking
+        // guarantee that makes reorder faults physics-invisible.
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                for i in 0..10u32 {
+                    comm.send(1, 4, i);
+                }
+            } else {
+                std::thread::sleep(Duration::from_millis(20));
+                {
+                    // Scramble the physical queue order.
+                    let mut q = comm.state.inboxes[1].state.lock();
+                    q.queue.reverse();
+                }
+                for i in 0..10u32 {
+                    assert_eq!(comm.recv::<u32>(0, 4), i);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn try_recv_returns_none_then_some() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                let _: () = comm.recv(1, 9);
+                comm.send(1, 3, 5u8);
+            } else {
+                assert_eq!(comm.try_recv::<u8>(0, 3), None);
+                comm.send(0, 9, ());
+                let mut got = None;
+                while got.is_none() {
+                    got = comm.try_recv::<u8>(0, 3);
+                }
+                assert_eq!(got, Some(5));
+            }
+        });
+    }
+
+    #[test]
+    fn recv_timeout_reports_in_flight_tags() {
+        Universe::run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 8, 1u8); // wrong tag on purpose
+                let _: () = comm.recv(1, 99);
+            } else {
+                std::thread::sleep(Duration::from_millis(10));
+                let err = comm
+                    .recv_timeout::<u8>(0, 42, Duration::from_millis(120))
+                    .unwrap_err();
+                match err {
+                    CommError::Timeout { src, tag, in_flight, .. } => {
+                        assert_eq!((src, tag), (0, 42));
+                        assert_eq!(in_flight, vec![(0, 8)]);
+                    }
+                    other => panic!("expected timeout, got {other}"),
+                }
+                // The mis-tagged message is still consumable afterwards.
+                assert_eq!(comm.recv::<u8>(0, 8), 1);
+                comm.send(0, 99, ());
             }
         });
     }
@@ -401,5 +841,29 @@ mod tests {
                 let _: f64 = comm.recv(0, 0);
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight tags")]
+    fn recv_never_sent_tag_fails_fast_with_diagnostic() {
+        // Satellite bugfix: a mistagged recv must fail with the
+        // "expected tag X from rank Y, in-flight tags: [...]" report,
+        // quickly (deadlock detector), not after a 60 s hang.
+        let t0 = Instant::now();
+        let result = std::panic::catch_unwind(|| {
+            Universe::run(2, |comm| {
+                if comm.rank() == 0 {
+                    comm.send(1, 8, 1u8);
+                } else {
+                    let _: u8 = comm.recv(0, 42); // nobody sends tag 42
+                }
+            });
+        });
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "diagnosis took {:?}, should be sub-second",
+            t0.elapsed()
+        );
+        std::panic::resume_unwind(result.unwrap_err());
     }
 }

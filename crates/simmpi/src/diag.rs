@@ -1,0 +1,365 @@
+//! Universe-wide wait registry and deadlock detection.
+//!
+//! Every rank registers what it is blocked on (receive source + tag,
+//! barrier, collective) before sleeping on its inbox condvar. A global
+//! progress counter is bumped on every enqueue and every consume, and
+//! chaos redeliveries in flight hold a pending count. When *all* ranks
+//! are blocked (or finished/dead), nothing is pending, and the progress
+//! counter stays frozen across a grace period, the universe is wedged:
+//! the first rank to confirm it builds a [`DeadlockReport`] — a
+//! per-rank "who waits on whom" table — and every blocked rank unwinds
+//! with it instead of hanging CI forever.
+//!
+//! False positives are impossible by construction: a message enqueued
+//! between the first and second look bumps `progress`, which disarms
+//! the candidate verdict; a pending chaos redelivery keeps the
+//! detector off entirely.
+
+use crate::hooks::BlockKind;
+use cfpd_testkit::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Lifecycle state of one rank's main thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankState {
+    Running,
+    Blocked,
+    Finished,
+    Dead,
+}
+
+/// What a blocked rank is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitInfo {
+    pub kind: BlockKind,
+    /// Global rank of the expected sender (meaningful for `Recv`; for
+    /// barriers/collectives it names the current partner edge).
+    pub src: usize,
+    pub tag: u64,
+    pub comm_id: u64,
+}
+
+/// One line of the deadlock report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankWait {
+    pub rank: usize,
+    pub state: RankState,
+    pub wait: Option<WaitInfo>,
+    /// Tags currently sitting unmatched in this rank's inbox, as
+    /// `(src, tag)` pairs — the "what arrived instead" half of the
+    /// diagnostic.
+    pub in_flight: Vec<(usize, u64)>,
+}
+
+/// Structured "who waits on whom" diagnostic produced when the
+/// universe wedges. Rendered instead of hanging.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadlockReport {
+    pub ranks: Vec<RankWait>,
+    pub pending_redeliveries: usize,
+}
+
+impl DeadlockReport {
+    /// Human-readable multi-line rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::from("DEADLOCK: all ranks blocked, no messages in flight\n");
+        for r in &self.ranks {
+            let line = match (&r.state, &r.wait) {
+                (RankState::Blocked, Some(w)) => {
+                    let what = match w.kind {
+                        BlockKind::Recv => format!(
+                            "waits for tag {} from rank {} (comm {})",
+                            w.tag, w.src, w.comm_id
+                        ),
+                        BlockKind::Barrier => format!(
+                            "waits in barrier for rank {} (comm {})",
+                            w.src, w.comm_id
+                        ),
+                        BlockKind::Collective => format!(
+                            "waits in collective for rank {} tag {} (comm {})",
+                            w.src, w.tag, w.comm_id
+                        ),
+                    };
+                    let inflight = if r.in_flight.is_empty() {
+                        "in-flight tags: []".to_string()
+                    } else {
+                        format!(
+                            "in-flight tags: [{}]",
+                            r.in_flight
+                                .iter()
+                                .map(|(s, t)| format!("{t} from {s}"))
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        )
+                    };
+                    format!("  rank {}: {what}; {inflight}", r.rank)
+                }
+                (RankState::Dead, _) => format!("  rank {}: CRASHED (fail-silent)", r.rank),
+                (RankState::Finished, _) => format!("  rank {}: finished", r.rank),
+                (state, _) => format!("  rank {}: {state:?}", r.rank),
+            };
+            out.push_str(&line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+struct Slot {
+    state: RankState,
+    wait: Option<WaitInfo>,
+    /// Self-reported unmatched inbox contents, refreshed by the rank on
+    /// each poll slice while blocked. Avoids the detector reaching into
+    /// other ranks' inbox locks (a lock-ordering hazard).
+    in_flight: Vec<(usize, u64)>,
+}
+
+/// Shared diagnostic state of one [`crate::Universe`] run.
+pub struct UniverseDiag {
+    slots: Mutex<Vec<Slot>>,
+    /// Bumped on every enqueue and every successful consume; a frozen
+    /// counter across the grace period is the "no progress" signal.
+    progress: AtomicU64,
+    /// Chaos redeliveries scheduled but not yet enqueued. While > 0 the
+    /// universe can still make progress on its own, so the detector
+    /// stays off.
+    pending_chaos: AtomicUsize,
+    /// Candidate verdict: (progress value at arm time, arm instant).
+    armed: Mutex<Option<(u64, Instant)>>,
+    verdict: Mutex<Option<Arc<DeadlockReport>>>,
+    grace: Duration,
+    comm_ids: AtomicU64,
+}
+
+impl UniverseDiag {
+    pub fn new(n_ranks: usize) -> Arc<UniverseDiag> {
+        Arc::new(UniverseDiag {
+            slots: Mutex::new(
+                (0..n_ranks)
+                    .map(|_| Slot {
+                        state: RankState::Running,
+                        wait: None,
+                        in_flight: Vec::new(),
+                    })
+                    .collect(),
+            ),
+            progress: AtomicU64::new(0),
+            pending_chaos: AtomicUsize::new(0),
+            armed: Mutex::new(None),
+            verdict: Mutex::new(None),
+            grace: Duration::from_millis(150),
+            comm_ids: AtomicU64::new(1), // 0 is the world communicator
+        })
+    }
+
+    /// Allocate a fresh communicator id (used by `Comm::split`).
+    pub fn next_comm_id(&self) -> u64 {
+        self.comm_ids.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Any enqueue or consume calls this; it also disarms a candidate
+    /// deadlock verdict.
+    pub fn bump_progress(&self) {
+        self.progress.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A chaos redelivery is pending (message dropped, will re-enqueue).
+    pub fn chaos_hold(&self) {
+        self.pending_chaos.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// The pending redelivery landed (or was abandoned).
+    pub fn chaos_release(&self) {
+        self.pending_chaos.fetch_sub(1, Ordering::SeqCst);
+    }
+
+    /// Rank `rank`'s main thread is about to sleep waiting on `wait`.
+    pub fn begin_wait(&self, rank: usize, wait: WaitInfo) {
+        let mut slots = self.slots.lock();
+        if slots[rank].state != RankState::Dead {
+            slots[rank].state = RankState::Blocked;
+            slots[rank].wait = Some(wait);
+        }
+    }
+
+    /// Refresh the blocked rank's self-reported unmatched inbox
+    /// contents (shown as `in-flight tags` in the report).
+    pub fn note_in_flight(&self, rank: usize, in_flight: Vec<(usize, u64)>) {
+        let mut slots = self.slots.lock();
+        if slots[rank].state == RankState::Blocked {
+            slots[rank].in_flight = in_flight;
+        }
+    }
+
+    /// Rank `rank` got its message / passed its barrier edge.
+    pub fn end_wait(&self, rank: usize) {
+        let mut slots = self.slots.lock();
+        if slots[rank].state != RankState::Dead {
+            slots[rank].state = RankState::Running;
+            slots[rank].wait = None;
+            slots[rank].in_flight.clear();
+        }
+    }
+
+    /// Rank `rank`'s closure returned (normally or by panic other than
+    /// a crash).
+    pub fn mark_finished(&self, rank: usize) {
+        let mut slots = self.slots.lock();
+        if slots[rank].state != RankState::Dead {
+            slots[rank].state = RankState::Finished;
+            slots[rank].wait = None;
+        }
+        drop(slots);
+        // Finishing is progress: the remaining ranks may now be wedged.
+        self.bump_progress();
+    }
+
+    /// Rank `rank` crashed (fail-silent model).
+    pub fn mark_dead(&self, rank: usize) {
+        let mut slots = self.slots.lock();
+        slots[rank].state = RankState::Dead;
+        slots[rank].wait = None;
+        drop(slots);
+        self.bump_progress();
+    }
+
+    pub fn is_dead(&self, rank: usize) -> bool {
+        self.slots.lock()[rank].state == RankState::Dead
+    }
+
+    /// The confirmed verdict, if the universe has been declared wedged.
+    pub fn deadlock(&self) -> Option<Arc<DeadlockReport>> {
+        self.verdict.lock().clone()
+    }
+
+    /// Called by blocked ranks each poll slice. Returns the verdict
+    /// once the universe is *confirmed* wedged: all ranks non-Running,
+    /// at least one Blocked, nothing pending, and the progress counter
+    /// frozen across the grace period.
+    pub fn poll_deadlock(&self) -> Option<Arc<DeadlockReport>> {
+        if let Some(v) = self.verdict.lock().clone() {
+            return Some(v);
+        }
+        let pending = self.pending_chaos.load(Ordering::SeqCst);
+        let progress_now = self.progress.load(Ordering::SeqCst);
+        let stuck = pending == 0 && {
+            let slots = self.slots.lock();
+            let any_blocked = slots.iter().any(|s| s.state == RankState::Blocked);
+            let none_running = slots.iter().all(|s| s.state != RankState::Running);
+            any_blocked && none_running
+        };
+        let mut armed = self.armed.lock();
+        if !stuck {
+            *armed = None;
+            return None;
+        }
+        match *armed {
+            Some((p, t)) if p == progress_now => {
+                if t.elapsed() < self.grace {
+                    return None; // candidate, not yet confirmed
+                }
+            }
+            _ => {
+                *armed = Some((progress_now, Instant::now()));
+                return None;
+            }
+        }
+        // Confirmed: frozen progress across the grace period while
+        // everyone is blocked and nothing is pending. Build the report.
+        let report = {
+            let slots = self.slots.lock();
+            Arc::new(DeadlockReport {
+                ranks: slots
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, s)| RankWait {
+                        rank,
+                        state: s.state,
+                        wait: s.wait,
+                        in_flight: s.in_flight.clone(),
+                    })
+                    .collect(),
+                pending_redeliveries: pending,
+            })
+        };
+        let mut verdict = self.verdict.lock();
+        if verdict.is_none() {
+            *verdict = Some(Arc::clone(&report));
+        }
+        verdict.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detector_stays_quiet_while_a_rank_runs() {
+        let d = UniverseDiag::new(2);
+        d.begin_wait(0, WaitInfo { kind: BlockKind::Recv, src: 1, tag: 5, comm_id: 0 });
+        // Rank 1 still Running → not a deadlock, ever.
+        for _ in 0..3 {
+            assert!(d.poll_deadlock().is_none());
+            std::thread::sleep(Duration::from_millis(60));
+        }
+    }
+
+    #[test]
+    fn detector_confirms_after_grace_and_reports_waits() {
+        let d = UniverseDiag::new(2);
+        d.begin_wait(0, WaitInfo { kind: BlockKind::Recv, src: 1, tag: 5, comm_id: 0 });
+        d.begin_wait(1, WaitInfo { kind: BlockKind::Recv, src: 0, tag: 9, comm_id: 0 });
+        d.note_in_flight(0, vec![(1, 77)]);
+        let mut verdict = None;
+        for _ in 0..30 {
+            if let Some(v) = d.poll_deadlock() {
+                verdict = Some(v);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        let v = verdict.expect("deadlock never confirmed");
+        assert_eq!(v.ranks.len(), 2);
+        assert_eq!(v.ranks[0].wait.unwrap().tag, 5);
+        assert_eq!(v.ranks[1].wait.unwrap().src, 0);
+        let text = v.render();
+        assert!(text.contains("DEADLOCK"), "{text}");
+        assert!(text.contains("waits for tag 5 from rank 1"), "{text}");
+        assert!(text.contains("in-flight tags: [77 from 1]"), "{text}");
+    }
+
+    #[test]
+    fn progress_disarms_a_candidate_verdict() {
+        let d = UniverseDiag::new(1);
+        d.begin_wait(0, WaitInfo { kind: BlockKind::Recv, src: 0, tag: 1, comm_id: 0 });
+        assert!(d.poll_deadlock().is_none()); // arms
+        std::thread::sleep(Duration::from_millis(80));
+        d.bump_progress(); // something moved
+        assert!(d.poll_deadlock().is_none()); // re-arms at new count
+        std::thread::sleep(Duration::from_millis(80));
+        // Only 80ms since re-arm → still under grace.
+        assert!(d.poll_deadlock().is_none());
+    }
+
+    #[test]
+    fn pending_chaos_redelivery_holds_the_detector_off() {
+        let d = UniverseDiag::new(1);
+        d.begin_wait(0, WaitInfo { kind: BlockKind::Recv, src: 0, tag: 1, comm_id: 0 });
+        d.chaos_hold();
+        std::thread::sleep(Duration::from_millis(200));
+        assert!(d.poll_deadlock().is_none());
+        d.chaos_release();
+        let mut verdict = None;
+        for _ in 0..30 {
+            if let Some(v) = d.poll_deadlock() {
+                verdict = Some(v);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        assert!(verdict.is_some(), "release should allow detection");
+    }
+}

@@ -21,11 +21,33 @@ pub enum BlockKind {
 
 /// Interception interface. Implementations must be cheap and re-entrant:
 /// they are called from every rank thread on every blocking call.
+///
+/// The `on_send` / `on_timeout` / `on_rank_dead` methods default to
+/// no-ops so existing hooks (DLB, counters) are unaffected; the chaos
+/// layer ([`crate::fault::ChaosHooks`]) overrides them to inject its
+/// seeded fault schedule and to route failure notifications.
 pub trait MpiHooks: Send + Sync {
     /// The universe-global rank `rank` is about to block in `kind`.
     fn on_block(&self, rank: usize, kind: BlockKind);
     /// The universe-global rank `rank` resumed from a blocking call.
     fn on_unblock(&self, rank: usize, kind: BlockKind);
+    /// Message `seq` on edge `src -> dest` (global ranks) of
+    /// communicator `comm_id` is about to be enqueued; the returned
+    /// action tells the fabric how to deliver it.
+    fn on_send(
+        &self,
+        _comm_id: u64,
+        _src: usize,
+        _dest: usize,
+        _tag: u64,
+        _seq: u64,
+    ) -> crate::fault::FaultAction {
+        crate::fault::FaultAction::Deliver
+    }
+    /// A timeout-carrying wait on rank `rank` expired without a match.
+    fn on_timeout(&self, _rank: usize, _kind: BlockKind) {}
+    /// Rank `rank` was declared dead (fail-silent crash).
+    fn on_rank_dead(&self, _rank: usize) {}
 }
 
 /// No-op hooks (the default when DLB is disabled).

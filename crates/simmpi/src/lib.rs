@@ -17,11 +17,15 @@
 //! collectives; user code should use small tags.
 
 pub mod comm;
+pub mod diag;
+pub mod fault;
 pub mod hooks;
 pub mod nonblocking;
 pub mod universe;
 
-pub use comm::{Comm, ReduceOp, DEADLOCK_TIMEOUT};
+pub use comm::{Comm, CommError, CrashUnwind, ReduceOp, DEADLOCK_TIMEOUT};
+pub use diag::{DeadlockReport, RankState, RankWait, UniverseDiag, WaitInfo};
+pub use fault::{ChaosHooks, CrashSpec, FaultAction, FaultConfig, FaultEvent, FaultEventKind, FaultPlan};
 pub use nonblocking::Request;
 pub use hooks::{BlockKind, CountingHooks, MpiHooks, NoHooks};
 pub use universe::Universe;

@@ -54,6 +54,47 @@ impl Phase {
     }
 }
 
+/// Chaos-layer incidents overlaid on the phase timeline: where the
+/// fault plan struck, where a timeout fired, where a checkpoint was
+/// written. Point events (no duration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChaosKind {
+    /// The fault plan injected a delay / reorder / drop / stall / crash.
+    FaultInjected,
+    /// A timeout-carrying communication call expired.
+    TimeoutFired,
+    /// A step-granular checkpoint was written.
+    CheckpointWritten,
+}
+
+impl ChaosKind {
+    /// Human-readable name for legends and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChaosKind::FaultInjected => "fault",
+            ChaosKind::TimeoutFired => "timeout",
+            ChaosKind::CheckpointWritten => "checkpoint",
+        }
+    }
+
+    /// One-character overlay tag for the ASCII timeline.
+    pub fn tag(self) -> char {
+        match self {
+            ChaosKind::FaultInjected => '!',
+            ChaosKind::TimeoutFired => 'T',
+            ChaosKind::CheckpointWritten => 'C',
+        }
+    }
+}
+
+/// One chaos incident on one rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosEvent {
+    pub rank: usize,
+    pub t: f64,
+    pub kind: ChaosKind,
+}
+
 /// One phase interval on one rank.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceEvent {
@@ -74,11 +115,14 @@ impl TraceEvent {
 pub struct Trace {
     pub num_ranks: usize,
     pub events: Vec<TraceEvent>,
+    /// Chaos incidents overlaid on the timeline (empty when the fault
+    /// layer is disabled).
+    pub chaos: Vec<ChaosEvent>,
 }
 
 impl Trace {
     pub fn new(num_ranks: usize) -> Trace {
-        Trace { num_ranks, events: Vec::new() }
+        Trace { num_ranks, events: Vec::new(), chaos: Vec::new() }
     }
 
     /// Record an interval.
@@ -88,10 +132,17 @@ impl Trace {
         self.events.push(TraceEvent { rank, phase, t_start, t_end });
     }
 
+    /// Record a chaos incident (fault injection, timeout, checkpoint).
+    pub fn record_chaos(&mut self, rank: usize, t: f64, kind: ChaosKind) {
+        debug_assert!(rank < self.num_ranks);
+        self.chaos.push(ChaosEvent { rank, t, kind });
+    }
+
     /// Merge another trace's events (e.g. per-rank traces gathered at
     /// rank 0).
     pub fn merge(&mut self, other: &Trace) {
         self.events.extend_from_slice(&other.events);
+        self.chaos.extend_from_slice(&other.chaos);
     }
 
     /// End time of the last event.

@@ -12,6 +12,6 @@ pub mod render;
 pub mod stats;
 
 pub use balance::{load_balance, phase_breakdown, PhaseRow};
-pub use event::{Phase, Trace, TraceEvent};
+pub use event::{ChaosEvent, ChaosKind, Phase, Trace, TraceEvent};
 pub use render::{render_timeline, render_timeline_ranks};
 pub use stats::{trace_stats, TraceStats};

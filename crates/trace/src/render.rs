@@ -25,8 +25,13 @@ pub fn render_timeline_ranks(trace: &Trace, width: usize, ranks: &[usize]) -> St
     }
     let width = width.max(10);
     let mut out = String::new();
+    let chaos_legend = if trace.chaos.is_empty() {
+        ""
+    } else {
+        " !=fault T=timeout C=checkpoint"
+    };
     out.push_str(&format!(
-        "time -> total {:.4}s, {} ranks ({} shown), legend: A=assembly 1=solver1 2=solver2 S=sgs P=particles .=mpi\n",
+        "time -> total {:.4}s, {} ranks ({} shown), legend: A=assembly 1=solver1 2=solver2 S=sgs P=particles .=mpi{chaos_legend}\n",
         total,
         trace.num_ranks,
         ranks.len()
@@ -42,6 +47,15 @@ pub fn render_timeline_ranks(trace: &Trace, width: usize, ranks: &[usize]) -> St
             for cell in row.iter_mut().take(c1).skip(c0.min(width)) {
                 *cell = e.phase.tag();
             }
+        }
+        // Chaos markers overwrite the phase tag at their instant so the
+        // timeline shows *where* the fault plan struck.
+        for c in &trace.chaos {
+            if c.rank != rank {
+                continue;
+            }
+            let col = (((c.t / total) * width as f64) as usize).min(width - 1);
+            row[col] = c.kind.tag();
         }
         out.push_str(&format!("r{rank:>4} |"));
         out.extend(row);
@@ -94,5 +108,29 @@ mod tests {
     fn empty_trace() {
         let t = Trace::new(4);
         assert!(render_timeline(&t, 40, 10).contains("empty"));
+    }
+
+    #[test]
+    fn chaos_markers_overlay_the_timeline() {
+        use crate::event::ChaosKind;
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Assembly, 0.0, 10.0);
+        t.record(1, Phase::Assembly, 0.0, 10.0);
+        t.record_chaos(0, 5.0, ChaosKind::FaultInjected);
+        t.record_chaos(1, 2.0, ChaosKind::TimeoutFired);
+        t.record_chaos(1, 9.0, ChaosKind::CheckpointWritten);
+        let s = render_timeline(&t, 40, 10);
+        assert!(s.contains("!=fault"), "legend extended: {s}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains('!'), "rank 0 fault marker: {}", lines[1]);
+        assert!(lines[2].contains('T') && lines[2].contains('C'), "{}", lines[2]);
+    }
+
+    #[test]
+    fn legend_is_unchanged_without_chaos() {
+        let mut t = Trace::new(1);
+        t.record(0, Phase::Sgs, 0.0, 1.0);
+        let s = render_timeline(&t, 40, 10);
+        assert!(!s.contains("=fault"), "no chaos legend when quiet: {s}");
     }
 }

@@ -5,6 +5,10 @@
 #     workspace has zero external dependencies — any attempt to reach a
 #     registry is a regression),
 #   * the complete test suite (unit, property, invariant, golden-trace),
+#   * a chaos smoke: a seeded benign fault-injection run must stay
+#     bit-identical to the fault-free run (exit 0), and a fault storm
+#     must terminate with a structured deadlock report (exit 3) instead
+#     of hanging — both under a hard wall-clock cap,
 #   * a warning gate on cfpd-testkit: the verification stack itself must
 #     compile without a single compiler warning.
 set -euo pipefail
@@ -15,6 +19,16 @@ cargo build --release --offline --all-targets
 
 echo "== test suite (offline) =="
 cargo test -q --offline
+
+echo "== chaos smoke (seeded fault injection) =="
+cfpd=target/release/cfpd
+timeout 120 "$cfpd" chaos --seed 7 >/dev/null
+rc=0
+timeout 120 "$cfpd" chaos --seed 7 --storm >/dev/null || rc=$?
+if [ "$rc" -ne 3 ]; then
+    echo "FAIL: chaos storm exited $rc, expected 3 (structured deadlock report)" >&2
+    exit 1
+fi
 
 echo "== testkit warning gate =="
 touch crates/testkit/src/lib.rs
