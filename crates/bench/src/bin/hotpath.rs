@@ -1,0 +1,207 @@
+//! Locality hot-path benchmark: default vs `LayoutPlan`-optimized
+//! assembly, SpMV and pressure CG on the airway mesh, plus the RCM
+//! bandwidth reduction — the before/after evidence for DESIGN.md §9.
+//!
+//! Writes the usual text table to `results/BENCH_hotpath.txt` and a
+//! machine-readable `results/BENCH_hotpath.json` (per-routine name,
+//! median ns, timed iterations, element count) so later PRs have a
+//! perf trajectory to diff against.
+//!
+//! `--quick` shrinks the mesh and sample count for the CI smoke in
+//! `scripts/verify.sh`.
+
+use std::hint::black_box;
+use std::io::Write;
+
+use cfpd_bench::emit;
+use cfpd_core::BoundaryConditions;
+use cfpd_mesh::{generate_airway, AirwaySpec, Mesh, Vec3};
+use cfpd_partition::{bandwidth_under_perm, csr_bandwidth, rcm_perm};
+use cfpd_runtime::ThreadPool;
+use cfpd_solver::{
+    assemble_momentum, assemble_momentum_batched, assemble_poisson, cg, cg_fused, cg_parallel,
+    AssemblyPlan, AssemblyStrategy, CsrMatrix, FluidProps, RefElement,
+};
+use cfpd_testkit::bench::{Bench, BenchConfig, BenchStats};
+
+const N_SUBDOMAINS: usize = 16;
+/// Fixed CG iteration count: every solver variant does identical work
+/// per sample (Jacobi-CG at 1e-6 would need thousands of iterations on
+/// the figure mesh — a fixed-work solve is the comparable benchmark).
+const CG_ITERS: usize = 150;
+
+fn synthetic_velocity(mesh: &Mesh) -> Vec<Vec3> {
+    mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect()
+}
+
+/// Dirichlet-closed pressure Poisson system (the Solver2 workload).
+fn pressure_system(mesh: &Mesh, pool: &ThreadPool) -> (CsrMatrix, Vec<f64>) {
+    let n2e = mesh.node_to_elements();
+    let mut matrix = CsrMatrix::from_mesh(mesh, &n2e);
+    let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+    let plan = AssemblyPlan::new(mesh, elems, AssemblyStrategy::Serial, 1);
+    let refs = RefElement::all();
+    let velocity = synthetic_velocity(mesh);
+    let mut rhs = vec![vec![0.0; mesh.num_nodes()]];
+    assemble_poisson(pool, &refs, mesh, &plan, &velocity, FluidProps::default(), 1e-4, &mut matrix, &mut rhs);
+    let bc = BoundaryConditions::from_mesh(mesh);
+    for &v in &bc.outlet_nodes {
+        matrix.set_dirichlet_row(v as usize);
+        rhs[0][v as usize] = 0.0;
+    }
+    (matrix, rhs.remove(0))
+}
+
+fn bench_assembly(b: &mut Bench, mesh: &Mesh, pool: &ThreadPool) {
+    let n2e = mesh.node_to_elements();
+    let template = CsrMatrix::from_mesh(mesh, &n2e);
+    let refs = RefElement::all();
+    let velocity = synthetic_velocity(mesh);
+    let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+    let zero_p = vec![0.0; mesh.num_nodes()];
+    let plan_default = AssemblyPlan::new(mesh, elems.clone(), AssemblyStrategy::Multidep, N_SUBDOMAINS);
+    let plan_batched =
+        AssemblyPlan::with_batches(mesh, elems, AssemblyStrategy::Multidep, N_SUBDOMAINS, &template);
+
+    for (label, batched) in [("assembly/default", false), ("assembly/batched", true)] {
+        let plan = if batched { &plan_batched } else { &plan_default };
+        let f = if batched { assemble_momentum_batched } else { assemble_momentum };
+        b.bench_batched(
+            label,
+            || (template.clone(), vec![vec![0.0; mesh.num_nodes()]; 3]),
+            |(mut a, mut rhs)| {
+                let stats = f(
+                    pool,
+                    &refs,
+                    mesh,
+                    plan,
+                    &velocity,
+                    &zero_p,
+                    FluidProps::default(),
+                    1e-4,
+                    Vec3::new(0.0, 0.0, -9.81),
+                    &mut a,
+                    &mut rhs,
+                );
+                black_box((a, rhs, stats.elements));
+            },
+        );
+    }
+}
+
+fn bench_spmv_and_cg(
+    b: &mut Bench,
+    label: &str,
+    matrix: &CsrMatrix,
+    rhs: &[f64],
+    pool: &ThreadPool,
+) {
+    let n = matrix.n;
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    b.bench(&format!("spmv/{label}"), || {
+        let mut y = vec![0.0; n];
+        matrix.spmv(black_box(&x), &mut y);
+        black_box(y);
+    });
+    for (solver, name) in [
+        ("serial", format!("cg-serial/{label}")),
+        ("parallel", format!("cg-parallel/{label}")),
+        ("fused", format!("cg-fused/{label}")),
+    ] {
+        b.bench_batched(
+            &name,
+            || vec![0.0; n],
+            |mut x| {
+                let stats = match solver {
+                    "serial" => cg(matrix, rhs, &mut x, 0.0, CG_ITERS),
+                    "parallel" => cg_parallel(matrix, rhs, &mut x, 0.0, CG_ITERS, pool),
+                    _ => cg_fused(matrix, rhs, &mut x, 0.0, CG_ITERS, pool),
+                };
+                assert_eq!(stats.iterations, CG_ITERS, "{name} did unequal work");
+                assert!(stats.residual.is_finite());
+                black_box((x, stats.residual));
+            },
+        );
+    }
+}
+
+fn write_json(
+    rows: &[(String, BenchStats)],
+    elements: usize,
+    nodes: usize,
+    bw_before: usize,
+    bw_after: usize,
+    quick: bool,
+) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"bench\": \"hotpath\",\n  \"quick\": {quick},\n"));
+    body.push_str(&format!("  \"elements\": {elements},\n  \"nodes\": {nodes},\n"));
+    body.push_str(&format!(
+        "  \"rcm\": {{ \"bandwidth_before\": {bw_before}, \"bandwidth_after\": {bw_after} }},\n"
+    ));
+    body.push_str("  \"rows\": [\n");
+    for (i, (name, stats)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"median_ns\": {:.0}, \"iters\": {}, \"elements\": {elements} }}{sep}\n",
+            stats.median * 1e9,
+            stats.samples,
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let stem = if quick { "BENCH_hotpath_quick" } else { "BENCH_hotpath" };
+    let path = dir.join(format!("{stem}.json"));
+    let mut f = std::fs::File::create(&path).expect("create json");
+    f.write_all(body.as_bytes()).expect("write json");
+    println!("[written to {}]", path.display());
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let spec = if quick { AirwaySpec::small() } else { AirwaySpec::default() };
+    let config = if quick {
+        BenchConfig { warmup: 1, samples: 5 }
+    } else {
+        BenchConfig { warmup: 2, samples: 9 }
+    };
+
+    let airway = generate_airway(&spec).expect("airway mesh");
+    let mesh = airway.mesh;
+    let workers = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let pool = ThreadPool::new(workers);
+    eprintln!(
+        "hotpath bench: {} elements / {} nodes, {} worker(s), {} samples{}",
+        mesh.num_elements(),
+        mesh.num_nodes(),
+        workers,
+        config.samples,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // RCM bandwidth evidence + a renumbered copy of the mesh.
+    let adj = mesh.node_adjacency();
+    let perm = rcm_perm(&adj);
+    let bw_before = csr_bandwidth(&adj);
+    let bw_after = bandwidth_under_perm(&adj, &perm);
+    let mut mesh_rcm = mesh.clone();
+    mesh_rcm.renumber_nodes(&perm);
+
+    let name = if quick { "BENCH_hotpath_quick" } else { "BENCH_hotpath" };
+    let mut b = Bench::with_config(name, config);
+    bench_assembly(&mut b, &mesh, &pool);
+    let (m_native, rhs_native) = pressure_system(&mesh, &pool);
+    bench_spmv_and_cg(&mut b, "native-order", &m_native, &rhs_native, &pool);
+    let (m_rcm, rhs_rcm) = pressure_system(&mesh_rcm, &pool);
+    bench_spmv_and_cg(&mut b, "rcm-order", &m_rcm, &rhs_rcm, &pool);
+
+    let mut report = b.report();
+    report.push_str(&format!(
+        "\nRCM bandwidth on this mesh: {bw_before} -> {bw_after} ({}x reduction)\n",
+        bw_before as f64 / bw_after.max(1) as f64
+    ));
+    emit(name, &report);
+    write_json(b.rows(), mesh.num_elements(), mesh.num_nodes(), bw_before, bw_after, quick);
+}

@@ -5,7 +5,7 @@
 //! cfpd run     [--ranks N] [--threads N] [--dlb] [--coupled F P]
 //!              [--particles N] [--steps N] [--strategy S]
 //! cfpd profile [--ranks N] [--particles N]         Table-1-style profile
-//! cfpd golden  [--ranks N]                         deterministic trace
+//! cfpd golden  [--ranks N] [--layout opt]          deterministic trace
 //! cfpd chaos   [--seed S] [--ranks N] [--dlb] [--storm]
 //!                                                  seeded fault-injection run
 //! ```
@@ -40,7 +40,7 @@ fn main() {
                  run     --ranks N  --threads N  --dlb  --coupled F P\n\
                  \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
                  profile --ranks N  --particles N\n\
-                 golden  --ranks N\n\
+                 golden  --ranks N  --layout opt\n\
                  chaos   --seed S  --ranks N  --dlb  --storm"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
@@ -175,9 +175,20 @@ fn cmd_run(flags: &Flags) {
 
 /// Print the deterministic golden trace of the canonical small run:
 /// byte-identical output on every invocation with the same flags.
+/// `--layout opt` (or `CFPD_LAYOUT=opt`) runs the locality-optimized
+/// path, which is pinned by its own golden file.
 fn cmd_golden(flags: &Flags) {
     let ranks = flags.usize_or("--ranks", 2);
-    print!("{}", golden_trace(&golden_config(), ranks));
+    let mut config = golden_config();
+    config.layout = match flags.get("--layout") {
+        Some("opt") => cfpd_solver::LayoutPlan::optimized(),
+        Some(other) => {
+            eprintln!("unknown --layout {other} (expected: opt)");
+            std::process::exit(2);
+        }
+        None => cfpd_solver::LayoutPlan::from_env(),
+    };
+    print!("{}", golden_trace(&config, ranks));
 }
 
 /// Run the canonical golden-config case under a seeded fault plan.

@@ -3,7 +3,7 @@
 
 use cfpd_mesh::AirwaySpec;
 use cfpd_particles::ParticleProps;
-use cfpd_solver::{AssemblyStrategy, FluidProps};
+use cfpd_solver::{AssemblyStrategy, FluidProps, LayoutPlan};
 
 /// Execution mode (Fig. 3): synchronous (every rank solves fluid then
 /// particles) or coupled (two rank groups running concurrently with a
@@ -44,6 +44,10 @@ pub struct SimulationConfig {
     pub solver_max_iters: usize,
     /// RNG seed for the particle injection.
     pub seed: u64,
+    /// Opt-in locality optimizations (RCM renumbering, kind-batched
+    /// assembly, fused solver kernels). Default: all off — the golden
+    /// bit-identity path.
+    pub layout: LayoutPlan,
 }
 
 impl Default for SimulationConfig {
@@ -62,6 +66,7 @@ impl Default for SimulationConfig {
             solver_tol: 1e-6,
             solver_max_iters: 500,
             seed: 1234,
+            layout: LayoutPlan::default(),
         }
     }
 }

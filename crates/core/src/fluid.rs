@@ -6,9 +6,9 @@
 use cfpd_mesh::{BoundaryKind, Mesh, Vec3};
 use cfpd_runtime::ThreadPool;
 use cfpd_solver::{
-    assemble_momentum, assemble_poisson, bicgstab, cg, compute_sgs, AssemblyPlan,
-    AssemblyStats, AssemblyStrategy, CsrMatrix, FluidProps, RefElement, SgsField, SgsStats,
-    SolveStats,
+    assemble_momentum, assemble_momentum_batched, assemble_poisson, assemble_poisson_batched,
+    bicgstab, cg, cg_fused, compute_sgs, AssemblyPlan, AssemblyStats, AssemblyStrategy,
+    CsrMatrix, FluidProps, LayoutPlan, RefElement, SgsField, SgsStats, SolveStats,
 };
 
 /// Boundary conditions extracted from the mesh's tagged exterior faces.
@@ -105,6 +105,7 @@ pub struct FluidSolver<'m> {
     /// Subgrid-scale storage.
     pub sgs: SgsField,
     gravity: Vec3,
+    layout: LayoutPlan,
 }
 
 impl<'m> FluidSolver<'m> {
@@ -122,11 +123,48 @@ impl<'m> FluidSolver<'m> {
         tol: f64,
         max_iters: usize,
     ) -> FluidSolver<'m> {
+        FluidSolver::new_with_layout(
+            mesh,
+            elems,
+            strategy,
+            n_subdomains,
+            props,
+            dt,
+            inflow,
+            tol,
+            max_iters,
+            LayoutPlan::default(),
+        )
+    }
+
+    /// [`FluidSolver::new`] with an explicit [`LayoutPlan`]: when
+    /// `layout.batched_assembly` is set the plan carries a kind-batched
+    /// SoA schedule, and `layout.fused_solver` switches the pressure
+    /// solve to the fused deterministic parallel CG.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_with_layout(
+        mesh: &'m Mesh,
+        elems: Vec<u32>,
+        strategy: AssemblyStrategy,
+        n_subdomains: usize,
+        props: FluidProps,
+        dt: f64,
+        inflow: Vec3,
+        tol: f64,
+        max_iters: usize,
+        layout: LayoutPlan,
+    ) -> FluidSolver<'m> {
         let n2e = mesh.node_to_elements();
         let matrix_u = CsrMatrix::from_mesh(mesh, &n2e);
         let matrix_p = matrix_u.clone();
         let n = mesh.num_nodes();
-        let plan = AssemblyPlan::new(mesh, elems, strategy, n_subdomains);
+        // The momentum and Poisson matrices share one sparsity pattern,
+        // so one batched schedule (built against matrix_u) serves both.
+        let plan = if layout.batched_assembly {
+            AssemblyPlan::with_batches(mesh, elems, strategy, n_subdomains, &matrix_u)
+        } else {
+            AssemblyPlan::new(mesh, elems, strategy, n_subdomains)
+        };
         let bc = BoundaryConditions::from_mesh(mesh);
         let refs = RefElement::all();
 
@@ -163,6 +201,7 @@ impl<'m> FluidSolver<'m> {
             pressure: vec![0.0; n],
             sgs,
             gravity: Vec3::new(0.0, 0.0, -9.81),
+            layout,
         }
     }
 
@@ -213,7 +252,12 @@ impl<'m> FluidSolver<'m> {
         // splitting is the robust choice; the kernel-level pressure-
         // gradient hook remains available for stabilized discretizations.
         let zero_pressure = vec![0.0; n];
-        let stats_m = assemble_momentum(
+        let assemble_m = if self.layout.batched_assembly {
+            assemble_momentum_batched
+        } else {
+            assemble_momentum
+        };
+        let stats_m = assemble_m(
             pool,
             &self.refs,
             self.mesh,
@@ -228,7 +272,12 @@ impl<'m> FluidSolver<'m> {
         );
         self.matrix_p.clear();
         self.rhs_p[0].iter_mut().for_each(|x| *x = 0.0);
-        let stats_p = assemble_poisson(
+        let assemble_p = if self.layout.batched_assembly {
+            assemble_poisson_batched
+        } else {
+            assemble_poisson
+        };
+        let stats_p = assemble_p(
             pool,
             &self.refs,
             self.mesh,
@@ -314,7 +363,11 @@ impl<'m> FluidSolver<'m> {
         }
         // ---- Phase: Solver2 (pressure, CG) ----------------------------
         let mut phi = std::mem::take(&mut self.pressure);
-        let s2 = cg(&self.matrix_p, &self.rhs_p[0], &mut phi, self.tol, self.max_iters);
+        let s2 = if self.layout.fused_solver {
+            cg_fused(&self.matrix_p, &self.rhs_p[0], &mut phi, self.tol, self.max_iters, pool)
+        } else {
+            cg(&self.matrix_p, &self.rhs_p[0], &mut phi, self.tol, self.max_iters)
+        };
         self.pressure = phi.clone();
         report.t_solver2 = t0.elapsed().as_secs_f64();
         report.solver2 = Some(s2);

@@ -105,15 +105,23 @@ fn render_golden(
         airway.mesh.num_nodes(),
     )
     .unwrap();
+    // The layout marker is appended only when an optimization is on, so
+    // the default document stays byte-identical to pre-layout goldens.
+    let layout_marker = if config.layout.is_default() {
+        String::new()
+    } else {
+        format!(" layout={}", config.layout.label())
+    };
     writeln!(
         w,
-        "run ranks={} steps={} particles={} seed={} strategy={:?} subdomains={}",
+        "run ranks={} steps={} particles={} seed={} strategy={:?} subdomains={}{}",
         config.total_ranks(n_ranks),
         config.steps,
         config.num_particles,
         config.seed,
         config.strategy,
         config.subdomains_per_rank,
+        layout_marker,
     )
     .unwrap();
 

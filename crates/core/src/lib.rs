@@ -22,6 +22,7 @@ pub mod simulation;
 pub mod workload;
 
 pub use checkpoint::{config_digest, Checkpoint, RankCheckpoint};
+pub use cfpd_solver::LayoutPlan;
 pub use config::{ExecutionMode, SimulationConfig};
 pub use flowfield::potential_flow;
 pub use fluid::{BoundaryConditions, FluidSolver, FluidStepReport};

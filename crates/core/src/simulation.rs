@@ -245,7 +245,17 @@ pub fn run_simulation_fallible(
 
     // Shared immutable setup (every rank would compute the identical
     // mesh; do it once).
-    let airway = Arc::new(generate_airway(&config.airway).expect("valid airway spec"));
+    let mut airway = generate_airway(&config.airway).expect("valid airway spec");
+    if config.layout.rcm {
+        // Locality layout: renumber nodes with reverse Cuthill–McKee
+        // before anything derives data from node ids (CSR patterns,
+        // partitions, boundary sets), so every downstream structure
+        // sees the bandwidth-reduced ordering.
+        let adj = airway.mesh.node_adjacency();
+        let perm = cfpd_partition::rcm_perm(&adj);
+        airway.mesh.renumber_nodes(&perm);
+    }
+    let airway = Arc::new(airway);
     let config = Arc::new(config.clone());
 
     // One virtual node: this container is one shared-memory machine, so
@@ -398,7 +408,7 @@ fn sync_rank(
     let n = comm.size();
     let (my_elems, owner) = partition_elements(mesh, n, rank);
 
-    let mut fs = FluidSolver::new(
+    let mut fs = FluidSolver::new_with_layout(
         mesh,
         my_elems,
         config.strategy,
@@ -408,6 +418,7 @@ fn sync_rank(
         airway.inlet_direction * config.inflow_speed,
         config.solver_tol,
         config.solver_max_iters,
+        config.layout,
     );
     let locator = Locator::new(mesh);
 
@@ -556,7 +567,7 @@ fn coupled_rank(
 
     if is_fluid {
         let (my_elems, _) = partition_elements(mesh, f, group.rank());
-        let mut fs = FluidSolver::new(
+        let mut fs = FluidSolver::new_with_layout(
             mesh,
             my_elems,
             config.strategy,
@@ -566,6 +577,7 @@ fn coupled_rank(
             airway.inlet_direction * config.inflow_speed,
             config.solver_tol,
             config.solver_max_iters,
+            config.layout,
         );
         for step in 0..config.steps {
             let t0 = t(epoch);

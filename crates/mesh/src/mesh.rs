@@ -258,6 +258,65 @@ impl Mesh {
         FaceNeighbors { offsets, entries }
     }
 
+    /// Node ↔ node adjacency through shared elements (deduplicated,
+    /// sorted, no self-loops) — exactly the off-diagonal sparsity
+    /// pattern of the assembled FEM matrices, so its bandwidth is the
+    /// CSR bandwidth the RCM reordering minimizes.
+    pub fn node_adjacency(&self) -> Csr {
+        let n2e = self.node_to_elements();
+        let n = self.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::new();
+        offsets.push(0u32);
+        // `mark[w] == v + 1` means w already recorded as a neighbor of v.
+        let mut mark = vec![0u32; n];
+        for v in 0..n {
+            let stamp = v as u32 + 1;
+            for &e in n2e.row(v) {
+                for &w in self.elem_nodes(e as usize) {
+                    if w as usize != v && mark[w as usize] != stamp {
+                        mark[w as usize] = stamp;
+                        targets.push(w);
+                    }
+                }
+            }
+            let start = *offsets.last().unwrap() as usize;
+            targets[start..].sort_unstable();
+            offsets.push(targets.len() as u32);
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Renumber the nodes in place with `perm[old] = new`: coordinates
+    /// move to their new slots and every connectivity entry is mapped.
+    /// Element order, kinds, offsets and (element-indexed) boundary tags
+    /// are untouched, so partitions, colorings and particle state built
+    /// on element ids stay valid. Applying `perm` then its inverse
+    /// restores the mesh exactly.
+    pub fn renumber_nodes(&mut self, perm: &[u32]) {
+        let n = self.num_nodes();
+        assert_eq!(perm.len(), n, "permutation length must match node count");
+        debug_assert!(
+            {
+                let mut seen = vec![false; n];
+                perm.iter().all(|&p| {
+                    let fresh = !seen[p as usize];
+                    seen[p as usize] = true;
+                    fresh
+                })
+            },
+            "perm must be a bijection on 0..num_nodes"
+        );
+        let mut coords = vec![Vec3::ZERO; n];
+        for (old, &new) in perm.iter().enumerate() {
+            coords[new as usize] = self.coords[old];
+        }
+        self.coords = coords;
+        for v in &mut self.conn {
+            *v = perm[*v as usize];
+        }
+    }
+
     /// Boundary lookup: map from (element, local face) to boundary kind.
     pub fn boundary_map(&self) -> HashMap<(u32, u8), BoundaryKind> {
         self.boundary.iter().map(|&(e, f, k)| ((e, f), k)).collect()
@@ -366,6 +425,41 @@ mod tests {
         b.add_prism([n[0], n[1], n[2], n[3], n[4], n[5]]);
         let m = b.finish();
         assert!((m.volume(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_adjacency_matches_shared_elements() {
+        let m = two_tets();
+        let adj = m.node_adjacency();
+        // Node 0 is only in tet 0: neighbors are that tet's other nodes.
+        assert_eq!(adj.row(0), &[1, 2, 3]);
+        // Node 1 is in both tets: all other nodes are neighbors.
+        assert_eq!(adj.row(1), &[0, 2, 3, 4]);
+        // No self-loops anywhere.
+        for v in 0..m.num_nodes() {
+            assert!(!adj.row(v).contains(&(v as u32)));
+        }
+    }
+
+    #[test]
+    fn renumber_nodes_round_trips_exactly() {
+        let m0 = two_tets();
+        let mut m = m0.clone();
+        let perm: Vec<u32> = vec![4, 2, 0, 1, 3]; // arbitrary bijection
+        let mut inv = vec![0u32; perm.len()];
+        for (a, &b) in perm.iter().enumerate() {
+            inv[b as usize] = a as u32;
+        }
+        m.renumber_nodes(&perm);
+        // Volumes (element-indexed geometry) are invariant bit-for-bit.
+        assert_eq!(m.volume(0).to_bits(), m0.volume(0).to_bits());
+        m.renumber_nodes(&inv);
+        assert_eq!(m.conn, m0.conn);
+        for (a, b) in m.coords.iter().zip(&m0.coords) {
+            assert_eq!(a.x.to_bits(), b.x.to_bits());
+            assert_eq!(a.y.to_bits(), b.y.to_bits());
+            assert_eq!(a.z.to_bits(), b.z.to_bits());
+        }
     }
 
     #[test]

@@ -12,16 +12,20 @@
 //!   refinement,
 //! * [`coloring`] — greedy largest-degree-first coloring,
 //! * [`subdomain`] — subdomain decomposition + node-sharing adjacency
-//!   (the "incompatibility" relation driving `mutexinoutset`).
+//!   (the "incompatibility" relation driving `mutexinoutset`),
+//! * [`rcm`] — reverse Cuthill–McKee node reordering (CSR bandwidth
+//!   reduction for the locality-aware hot path).
 
 pub mod coloring;
 pub mod graph;
 pub mod kway;
 pub mod rcb;
+pub mod rcm;
 pub mod subdomain;
 
 pub use coloring::{greedy_coloring, Coloring};
 pub use graph::Graph;
 pub use kway::{partition_kway, Partition};
 pub use rcb::partition_rcb;
+pub use rcm::{bandwidth_under_perm, csr_bandwidth, invert_perm, rcm_order, rcm_perm};
 pub use subdomain::{decompose_subdomains, local_element_graph, SubdomainDecomposition};

@@ -12,11 +12,13 @@
 //! Fig. 4 (atomics / coloring / multidependences) are built on these
 //! primitives in `cfpd-solver::assembly`.
 
+pub mod chunk;
 pub mod parallel_for;
 pub mod pool;
 pub mod reduce;
 pub mod taskgraph;
 
+pub use chunk::{balanced_ranges, parallel_for_ranges, prefix_weights};
 pub use parallel_for::{parallel_for, parallel_for_with_tid};
 pub use reduce::{parallel_dot, parallel_for_static, parallel_reduce};
 pub use pool::ThreadPool;

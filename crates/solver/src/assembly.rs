@@ -68,6 +68,9 @@ pub struct AssemblyPlan {
     subdomains: Option<(Vec<Vec<u32>>, Vec<Vec<usize>>)>,
     /// Grain for the atomics parallel loop.
     grain: usize,
+    /// Kind-batched SoA schedule (opt-in `LayoutPlan`): one batch set
+    /// per parallel unit of the strategy.
+    batches: Option<crate::batch::BatchSchedule>,
 }
 
 /// Counters describing one assembly execution, consumed by the
@@ -105,6 +108,7 @@ impl AssemblyPlan {
             color_classes: None,
             subdomains: None,
             grain: 32,
+            batches: None,
             elems,
         };
         match strategy {
@@ -144,6 +148,43 @@ impl AssemblyPlan {
         plan
     }
 
+    /// [`AssemblyPlan::new`] plus a kind-batched SoA schedule built
+    /// against `pattern`'s sparsity (gather lists, precomputed scatter
+    /// indices, cached element lengths) — the opt-in `LayoutPlan`
+    /// batched-assembly path. The momentum and Poisson matrices of a
+    /// mesh share one pattern, so one schedule serves both systems.
+    pub fn with_batches(
+        mesh: &Mesh,
+        elems: Vec<u32>,
+        strategy: AssemblyStrategy,
+        n_subdomains: usize,
+        pattern: &CsrMatrix,
+    ) -> AssemblyPlan {
+        let mut plan = AssemblyPlan::new(mesh, elems, strategy, n_subdomains);
+        let units: Vec<crate::batch::BatchSet> = match strategy {
+            AssemblyStrategy::Serial | AssemblyStrategy::Atomics => {
+                vec![crate::batch::BatchSet::build(mesh, pattern, &plan.elems)]
+            }
+            AssemblyStrategy::Coloring => plan
+                .color_classes
+                .as_ref()
+                .expect("coloring plan")
+                .iter()
+                .map(|class| crate::batch::BatchSet::build(mesh, pattern, class))
+                .collect(),
+            AssemblyStrategy::Multidep => plan
+                .subdomains
+                .as_ref()
+                .expect("multidep plan")
+                .0
+                .iter()
+                .map(|members| crate::batch::BatchSet::build(mesh, pattern, members))
+                .collect(),
+        };
+        plan.batches = Some(crate::batch::BatchSchedule { units });
+        plan
+    }
+
     /// Number of colors (0 unless Coloring).
     pub fn num_colors(&self) -> usize {
         self.color_classes.as_ref().map_or(0, |c| c.len())
@@ -152,6 +193,22 @@ impl AssemblyPlan {
     /// Number of subdomain tasks (0 unless Multidep).
     pub fn num_subdomains(&self) -> usize {
         self.subdomains.as_ref().map_or(0, |(m, _)| m.len())
+    }
+
+    /// The batched schedule, if this plan was built with
+    /// [`AssemblyPlan::with_batches`].
+    pub fn batch_schedule(&self) -> Option<&crate::batch::BatchSchedule> {
+        self.batches.as_ref()
+    }
+
+    /// Per-subdomain mutexinoutset object lists (Multidep only).
+    pub(crate) fn mutex_objs(&self) -> Option<&Vec<Vec<usize>>> {
+        self.subdomains.as_ref().map(|(_, objs)| objs)
+    }
+
+    /// The atomics-loop grain.
+    pub(crate) fn atomics_grain(&self) -> usize {
+        self.grain
     }
 }
 

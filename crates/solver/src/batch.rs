@@ -1,0 +1,522 @@
+//! Kind-batched SoA assembly: the opt-in locality path for the matrix
+//! assembly phase.
+//!
+//! The default assembly loop dispatches on `ElementKind` per element
+//! and binary-searches the CSR pattern for every scatter-add. Batching
+//! groups each parallel unit's elements by kind into contiguous batches
+//! with three precomputed SoA side arrays:
+//!
+//! * `gather`  — `nn × len` node ids (the gather list),
+//! * `scatter` — `nn² × len` flat CSR value indices (no pattern search
+//!   in the hot loop),
+//! * `h`       — cached characteristic element lengths (no per-element
+//!   volume computation in the hot loop).
+//!
+//! Inside a batch the quadrature kernels are monomorphized over the
+//! node count ([`crate::kernels::momentum_kernel_n`]), so the inner
+//! loops have compile-time trip counts and no per-element branch. The
+//! floating-point sequence per element is identical to the dynamic
+//! kernels — local matrices are bit-identical; only the order elements
+//! are visited (grouped by kind) differs, which the strategy-equivalence
+//! tolerance already covers.
+
+use crate::assembly::{AssemblyPlan, AssemblyStats, AssemblyStrategy};
+use crate::csr::{AtomicView, CsrMatrix, DisjointView};
+use crate::kernels::{
+    momentum_kernel_n, poisson_kernel_n, ElementScratch, FluidProps, LocalMomentum, LocalPoisson,
+};
+use crate::shape::RefElement;
+use cfpd_mesh::{ElementKind, Mesh, Vec3};
+use cfpd_runtime::{parallel_for, Dep, TaskGraph, ThreadPool};
+use std::ops::Range;
+use std::sync::atomic::Ordering;
+
+/// One contiguous same-kind batch of elements with its SoA side arrays.
+#[derive(Debug, Clone)]
+pub struct KindBatch {
+    pub kind: ElementKind,
+    /// Global element ids, in the original unit order.
+    pub elems: Vec<u32>,
+    /// Flattened gather list: element `b` reads nodes
+    /// `gather[b*nn .. (b+1)*nn]`.
+    pub gather: Vec<u32>,
+    /// Flattened scatter list: element `b`'s (i,j) entry adds into CSR
+    /// value index `scatter[b*nn*nn + i*nn + j]`.
+    pub scatter: Vec<u32>,
+    /// Characteristic element length `|V|^(1/3)` per element.
+    pub h: Vec<f64>,
+}
+
+impl KindBatch {
+    /// Nodes per element of this batch.
+    #[inline]
+    pub fn nn(&self) -> usize {
+        self.kind.num_nodes()
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+}
+
+/// The batches of one parallel unit (full list, color class, or
+/// subdomain), grouped by kind in `Tet4 → Pyr5 → Pri6` order.
+#[derive(Debug, Clone, Default)]
+pub struct BatchSet {
+    pub batches: Vec<KindBatch>,
+}
+
+impl BatchSet {
+    /// Group `elems` by kind (stable: original relative order kept
+    /// within each batch) and precompute gather/scatter/h.
+    pub fn build(mesh: &Mesh, pattern: &CsrMatrix, elems: &[u32]) -> BatchSet {
+        let mut batches = Vec::new();
+        for kind in [ElementKind::Tet4, ElementKind::Pyr5, ElementKind::Pri6] {
+            let members: Vec<u32> = elems
+                .iter()
+                .copied()
+                .filter(|&e| mesh.kinds[e as usize] == kind)
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let nn = kind.num_nodes();
+            let mut gather = Vec::with_capacity(nn * members.len());
+            let mut scatter = Vec::with_capacity(nn * nn * members.len());
+            let mut h = Vec::with_capacity(members.len());
+            for &e in &members {
+                let nodes = mesh.elem_nodes(e as usize);
+                debug_assert_eq!(nodes.len(), nn);
+                gather.extend_from_slice(nodes);
+                for i in 0..nn {
+                    for j in 0..nn {
+                        scatter.push(
+                            pattern.entry_index(nodes[i] as usize, nodes[j] as usize) as u32,
+                        );
+                    }
+                }
+                h.push(mesh.volume(e as usize).abs().cbrt());
+            }
+            batches.push(KindBatch { kind, elems: members, gather, scatter, h });
+        }
+        BatchSet { batches }
+    }
+
+    /// Total elements across all batches.
+    pub fn num_elements(&self) -> usize {
+        self.batches.iter().map(KindBatch::len).sum()
+    }
+}
+
+/// Batched schedule of a plan: one [`BatchSet`] per parallel unit of
+/// the strategy (Serial/Atomics: one; Coloring: per class; Multidep:
+/// per subdomain).
+#[derive(Debug, Clone, Default)]
+pub struct BatchSchedule {
+    pub units: Vec<BatchSet>,
+}
+
+/// Scatter discipline of one batched assembly (atomic vs. plain adds
+/// under the strategy's no-conflict guarantee).
+trait ScatterSink: Sync {
+    fn add_matrix(&self, idx: usize, v: f64);
+    fn add_rhs(&self, c: usize, node: usize, v: f64);
+}
+
+struct AtomicSink<'a> {
+    matrix: AtomicView<'a>,
+    rhs: Vec<AtomicView<'a>>,
+}
+
+impl ScatterSink for AtomicSink<'_> {
+    #[inline]
+    fn add_matrix(&self, idx: usize, v: f64) {
+        self.matrix.add_at(idx, v);
+    }
+    #[inline]
+    fn add_rhs(&self, c: usize, node: usize, v: f64) {
+        self.rhs[c].add_at(node, v);
+    }
+}
+
+struct DisjointSink<'a> {
+    matrix: DisjointView<'a>,
+    rhs: Vec<DisjointView<'a>>,
+}
+
+impl ScatterSink for DisjointSink<'_> {
+    #[inline]
+    fn add_matrix(&self, idx: usize, v: f64) {
+        // SAFETY: the strategy schedule (serial order, color classes,
+        // or mutexinoutset exclusion) guarantees no concurrent access
+        // to this entry — same contract as the unbatched path.
+        unsafe { self.matrix.add_at(idx, v) };
+    }
+    #[inline]
+    fn add_rhs(&self, c: usize, node: usize, v: f64) {
+        // SAFETY: as above (the row is a node of the current element).
+        unsafe { self.rhs[c].add_at(node, v) };
+    }
+}
+
+/// What one batched sweep computes per element; implemented by the
+/// momentum and Poisson contexts. `run` processes `range` of `batch`
+/// with a monomorphized kernel and scatters through `sink`.
+trait BatchCtx: Sync {
+    const RHS_DIM: usize;
+    fn run<S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        range: Range<usize>,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    );
+}
+
+struct MomentumCtx<'a> {
+    refs: &'a [RefElement; 3],
+    coords: &'a [Vec3],
+    velocity: &'a [Vec3],
+    pressure: &'a [f64],
+    props: FluidProps,
+    dt: f64,
+    body_force: Vec3,
+}
+
+impl MomentumCtx<'_> {
+    fn run_n<const NN: usize, S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        range: Range<usize>,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    ) {
+        let re = &self.refs[RefElement::index_of(batch.kind)];
+        for b in range {
+            let nodes = &batch.gather[b * NN..(b + 1) * NN];
+            scratch.load_gather_with_pressure(self.coords, self.velocity, self.pressure, nodes);
+            let lm: LocalMomentum =
+                momentum_kernel_n::<NN>(re, scratch, self.props, self.dt, batch.h[b], self.body_force)
+                    .expect("degenerate element");
+            let sc = &batch.scatter[b * NN * NN..(b + 1) * NN * NN];
+            for i in 0..NN {
+                for j in 0..NN {
+                    sink.add_matrix(sc[i * NN + j] as usize, lm.a[i][j]);
+                }
+                let gi = nodes[i] as usize;
+                for c in 0..3 {
+                    sink.add_rhs(c, gi, lm.b[i][c]);
+                }
+            }
+        }
+    }
+}
+
+impl BatchCtx for MomentumCtx<'_> {
+    const RHS_DIM: usize = 3;
+    fn run<S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        range: Range<usize>,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    ) {
+        match batch.kind {
+            ElementKind::Tet4 => self.run_n::<4, S>(batch, range, scratch, sink),
+            ElementKind::Pyr5 => self.run_n::<5, S>(batch, range, scratch, sink),
+            ElementKind::Pri6 => self.run_n::<6, S>(batch, range, scratch, sink),
+        }
+    }
+}
+
+struct PoissonCtx<'a> {
+    refs: &'a [RefElement; 3],
+    coords: &'a [Vec3],
+    velocity: &'a [Vec3],
+    props: FluidProps,
+    dt: f64,
+}
+
+impl PoissonCtx<'_> {
+    fn run_n<const NN: usize, S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        range: Range<usize>,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    ) {
+        let re = &self.refs[RefElement::index_of(batch.kind)];
+        for b in range {
+            let nodes = &batch.gather[b * NN..(b + 1) * NN];
+            scratch.load_gather(self.coords, self.velocity, nodes);
+            let lp: LocalPoisson = poisson_kernel_n::<NN>(re, scratch, self.props, self.dt)
+                .expect("degenerate element");
+            let sc = &batch.scatter[b * NN * NN..(b + 1) * NN * NN];
+            for i in 0..NN {
+                for j in 0..NN {
+                    sink.add_matrix(sc[i * NN + j] as usize, lp.l[i][j]);
+                }
+                sink.add_rhs(0, nodes[i] as usize, lp.b[i]);
+            }
+        }
+    }
+}
+
+impl BatchCtx for PoissonCtx<'_> {
+    const RHS_DIM: usize = 1;
+    fn run<S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        range: Range<usize>,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    ) {
+        match batch.kind {
+            ElementKind::Tet4 => self.run_n::<4, S>(batch, range, scratch, sink),
+            ElementKind::Pyr5 => self.run_n::<5, S>(batch, range, scratch, sink),
+            ElementKind::Pri6 => self.run_n::<6, S>(batch, range, scratch, sink),
+        }
+    }
+}
+
+/// Run a whole batch set serially through `sink` (one task / one color
+/// worker / the serial strategy).
+fn run_set<C: BatchCtx, S: ScatterSink>(
+    ctx: &C,
+    set: &BatchSet,
+    scratch: &mut ElementScratch,
+    sink: &S,
+) {
+    for batch in &set.batches {
+        ctx.run(batch, 0..batch.len(), scratch, sink);
+    }
+}
+
+/// Strategy-dispatched batched assembly (the counterpart of the
+/// unbatched `assemble_generic`, operating on the plan's
+/// [`BatchSchedule`]).
+fn assemble_batched<C: BatchCtx>(
+    pool: &ThreadPool,
+    mesh: &Mesh,
+    plan: &AssemblyPlan,
+    ctx: &C,
+    matrix: &mut CsrMatrix,
+    rhs: &mut [Vec<f64>],
+) -> AssemblyStats {
+    assert_eq!(rhs.len(), C::RHS_DIM);
+    let sched = plan
+        .batch_schedule()
+        .expect("plan built without batches; use AssemblyPlan::with_batches");
+    let mut stats = AssemblyStats {
+        elements: plan.elems.len(),
+        weighted_ops: plan
+            .elems
+            .iter()
+            .map(|&e| mesh.kinds[e as usize].cost_weight())
+            .sum(),
+        colors: plan.num_colors(),
+        tasks: plan.num_subdomains(),
+        ..Default::default()
+    };
+
+    let (_pattern, values) = matrix.split_mut();
+    match plan.strategy {
+        AssemblyStrategy::Serial => {
+            let sink = DisjointSink {
+                matrix: DisjointView::from_slice(values),
+                rhs: rhs.iter_mut().map(|r| DisjointView::from_slice(r)).collect(),
+            };
+            let mut scratch = ElementScratch::default();
+            for set in &sched.units {
+                run_set(ctx, set, &mut scratch, &sink);
+            }
+        }
+        AssemblyStrategy::Atomics => {
+            let sink = AtomicSink {
+                matrix: AtomicView::from_slice(values),
+                rhs: rhs.iter_mut().map(|r| AtomicView::from_slice(r)).collect(),
+            };
+            for set in &sched.units {
+                for batch in &set.batches {
+                    parallel_for(pool, 0..batch.len(), plan.atomics_grain(), |range| {
+                        let mut scratch = ElementScratch::default();
+                        ctx.run(batch, range, &mut scratch, &sink);
+                    });
+                }
+            }
+            stats.atomic_adds = sink.matrix.atomic_ops.load(Ordering::Relaxed)
+                + sink
+                    .rhs
+                    .iter()
+                    .map(|r| r.atomic_ops.load(Ordering::Relaxed))
+                    .sum::<usize>();
+        }
+        AssemblyStrategy::Coloring => {
+            let sink = DisjointSink {
+                matrix: DisjointView::from_slice(values),
+                rhs: rhs.iter_mut().map(|r| DisjointView::from_slice(r)).collect(),
+            };
+            // One unit per color class; classes stay barriers.
+            for set in &sched.units {
+                for batch in &set.batches {
+                    parallel_for(pool, 0..batch.len(), plan.atomics_grain(), |range| {
+                        let mut scratch = ElementScratch::default();
+                        ctx.run(batch, range, &mut scratch, &sink);
+                    });
+                }
+            }
+        }
+        AssemblyStrategy::Multidep => {
+            let sink = DisjointSink {
+                matrix: DisjointView::from_slice(values),
+                rhs: rhs.iter_mut().map(|r| DisjointView::from_slice(r)).collect(),
+            };
+            let objs = plan.mutex_objs().expect("multidep plan");
+            let mut graph = TaskGraph::new();
+            for (s, set) in sched.units.iter().enumerate() {
+                let deps: Vec<Dep> = objs[s].iter().map(|&o| Dep::mutex(o)).collect();
+                let sink = &sink;
+                graph.add_task(&deps, move || {
+                    let mut scratch = ElementScratch::default();
+                    run_set(ctx, set, &mut scratch, sink);
+                });
+            }
+            let exec = graph.execute(pool);
+            stats.mutex_retries = exec.mutex_retries;
+        }
+    }
+    stats
+}
+
+/// Batched counterpart of [`crate::assembly::assemble_momentum`]; the
+/// plan must have been built with [`AssemblyPlan::with_batches`].
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_momentum_batched(
+    pool: &ThreadPool,
+    refs: &[RefElement; 3],
+    mesh: &Mesh,
+    plan: &AssemblyPlan,
+    velocity: &[Vec3],
+    pressure: &[f64],
+    props: FluidProps,
+    dt: f64,
+    body_force: Vec3,
+    matrix: &mut CsrMatrix,
+    rhs: &mut [Vec<f64>],
+) -> AssemblyStats {
+    let ctx = MomentumCtx {
+        refs,
+        coords: &mesh.coords,
+        velocity,
+        pressure,
+        props,
+        dt,
+        body_force,
+    };
+    assemble_batched(pool, mesh, plan, &ctx, matrix, rhs)
+}
+
+/// Batched counterpart of [`crate::assembly::assemble_poisson`].
+#[allow(clippy::too_many_arguments)]
+pub fn assemble_poisson_batched(
+    pool: &ThreadPool,
+    refs: &[RefElement; 3],
+    mesh: &Mesh,
+    plan: &AssemblyPlan,
+    velocity: &[Vec3],
+    props: FluidProps,
+    dt: f64,
+    matrix: &mut CsrMatrix,
+    rhs: &mut [Vec<f64>],
+) -> AssemblyStats {
+    let ctx = PoissonCtx { refs, coords: &mesh.coords, velocity, props, dt };
+    assemble_batched(pool, mesh, plan, &ctx, matrix, rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assembly::assemble_momentum;
+    use cfpd_mesh::{generate_airway, AirwaySpec};
+
+    #[test]
+    fn batch_sets_partition_the_element_list() {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let mesh = &am.mesh;
+        let n2e = mesh.node_to_elements();
+        let pattern = CsrMatrix::from_mesh(mesh, &n2e);
+        let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+        let set = BatchSet::build(mesh, &pattern, &elems);
+        assert_eq!(set.num_elements(), elems.len());
+        let mut seen: Vec<u32> = set.batches.iter().flat_map(|b| b.elems.clone()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, elems);
+        for batch in &set.batches {
+            assert_eq!(batch.gather.len(), batch.nn() * batch.len());
+            assert_eq!(batch.scatter.len(), batch.nn() * batch.nn() * batch.len());
+            assert_eq!(batch.h.len(), batch.len());
+            assert!(batch.elems.iter().all(|&e| mesh.kinds[e as usize] == batch.kind));
+        }
+    }
+
+    #[test]
+    fn batched_momentum_matches_unbatched_serial() {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let mesh = &am.mesh;
+        let n2e = mesh.node_to_elements();
+        let template = CsrMatrix::from_mesh(mesh, &n2e);
+        let refs = RefElement::all();
+        let pool = ThreadPool::new(4);
+        let velocity: Vec<Vec3> =
+            mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect();
+        let zero_p = vec![0.0; mesh.num_nodes()];
+        let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+
+        let assemble = |batched: bool, strategy: AssemblyStrategy| {
+            let plan = if batched {
+                AssemblyPlan::with_batches(mesh, elems.clone(), strategy, 16, &template)
+            } else {
+                AssemblyPlan::new(mesh, elems.clone(), strategy, 16)
+            };
+            let mut a = template.clone();
+            let mut rhs = vec![vec![0.0; mesh.num_nodes()]; 3];
+            let f = if batched { assemble_momentum_batched } else { assemble_momentum };
+            f(
+                &pool,
+                &refs,
+                mesh,
+                &plan,
+                &velocity,
+                &zero_p,
+                FluidProps::default(),
+                1e-4,
+                Vec3::new(0.0, 0.0, -9.81),
+                &mut a,
+                &mut rhs,
+            );
+            (a, rhs)
+        };
+
+        let (a_ref, rhs_ref) = assemble(false, AssemblyStrategy::Serial);
+        for strategy in AssemblyStrategy::ALL {
+            let (a, rhs) = assemble(true, strategy);
+            for (k, (x, y)) in a.values.iter().zip(&a_ref.values).enumerate() {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                assert!((x - y).abs() <= 1e-9 * scale, "{strategy:?} entry {k}: {x} vs {y}");
+            }
+            for c in 0..3 {
+                for (i, (x, y)) in rhs[c].iter().zip(&rhs_ref[c]).enumerate() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!((x - y).abs() <= 1e-9 * scale, "{strategy:?} rhs[{c}][{i}]");
+                }
+            }
+        }
+    }
+}

@@ -90,6 +90,34 @@ impl ElementScratch {
         }
         (kind, nn)
     }
+
+    /// Load coordinates and velocities through a precomputed gather
+    /// list (one batch row of a kind-batched SoA plan). Reads the same
+    /// values in the same order as [`ElementScratch::load`], so the
+    /// resulting kernel inputs are bit-identical.
+    #[inline]
+    pub fn load_gather(&mut self, coords: &[Vec3], velocity: &[Vec3], nodes: &[u32]) {
+        for (k, &v) in nodes.iter().enumerate() {
+            self.coords[k] = coords[v as usize];
+            self.vel[k] = velocity[v as usize];
+            self.pres[k] = 0.0;
+        }
+    }
+
+    /// [`ElementScratch::load_gather`] plus nodal pressure.
+    #[inline]
+    pub fn load_gather_with_pressure(
+        &mut self,
+        coords: &[Vec3],
+        velocity: &[Vec3],
+        pressure: &[f64],
+        nodes: &[u32],
+    ) {
+        self.load_gather(coords, velocity, nodes);
+        for (k, &v) in nodes.iter().enumerate() {
+            self.pres[k] = pressure[v as usize];
+        }
+    }
 }
 
 /// Momentum (convection–diffusion–reaction) element matrix and RHS for
@@ -158,6 +186,63 @@ pub fn momentum_kernel(
     Some(out)
 }
 
+/// [`momentum_kernel`] monomorphized over the node count: the inner
+/// quadrature loops run over the compile-time constant `NN`, so the
+/// compiler unrolls them and the per-element `ElementKind` branch
+/// disappears from the batch inner loop. The floating-point operation
+/// sequence is identical to the dynamic-`nn` kernel, so the local
+/// matrices are **bit-identical** (asserted by the batching tests).
+#[allow(clippy::too_many_arguments)]
+pub fn momentum_kernel_n<const NN: usize>(
+    re: &RefElement,
+    scratch: &ElementScratch,
+    props: FluidProps,
+    dt: f64,
+    h_elem: f64,
+    body_force: Vec3,
+) -> Option<LocalMomentum> {
+    let mut out =
+        LocalMomentum { nn: NN, a: [[0.0; MAX_NODES]; MAX_NODES], b: [[0.0; 3]; MAX_NODES] };
+    let rho_dt = props.density / dt;
+    for qp in &re.qps {
+        let m: MappedQp = map_qp(qp, &scratch.coords, NN)?;
+        let mut uc = Vec3::ZERO;
+        for i in 0..NN {
+            uc += scratch.vel[i] * m.n[i];
+        }
+        let speed = uc.norm();
+        let (su_coef, udir) = if speed > 1e-12 {
+            (0.5 * props.density * speed * h_elem, uc / speed)
+        } else {
+            (0.0, Vec3::ZERO)
+        };
+        for i in 0..NN {
+            let ni = m.n[i];
+            let gi = m.grad[i];
+            let gi_s = udir.x * gi[0] + udir.y * gi[1] + udir.z * gi[2];
+            for j in 0..NN {
+                let gj = m.grad[j];
+                let mass = rho_dt * ni * m.n[j];
+                let diff = props.viscosity * (gi[0] * gj[0] + gi[1] * gj[1] + gi[2] * gj[2]);
+                let conv =
+                    props.density * ni * (uc.x * gj[0] + uc.y * gj[1] + uc.z * gj[2]);
+                let gj_s = udir.x * gj[0] + udir.y * gj[1] + udir.z * gj[2];
+                let su = su_coef * gi_s * gj_s;
+                out.a[i][j] += (mass + diff + conv + su) * m.dvol;
+            }
+            let mut gp = Vec3::ZERO;
+            for k in 0..NN {
+                gp += Vec3::new(m.grad[k][0], m.grad[k][1], m.grad[k][2]) * scratch.pres[k];
+            }
+            let rhs = (uc * rho_dt + body_force * props.density - gp) * (ni * m.dvol);
+            out.b[i][0] += rhs.x;
+            out.b[i][1] += rhs.y;
+            out.b[i][2] += rhs.z;
+        }
+    }
+    Some(out)
+}
+
 /// Pressure-Poisson element matrix (`∇N·∇N`) and weak divergence RHS
 /// `(ρ/dt) ∫ ∇N_i · u*`.
 pub fn poisson_kernel(
@@ -180,6 +265,34 @@ pub fn poisson_kernel(
         for i in 0..nn {
             let gi = m.grad[i];
             for j in 0..nn {
+                let gj = m.grad[j];
+                out.l[i][j] += (gi[0] * gj[0] + gi[1] * gj[1] + gi[2] * gj[2]) * m.dvol;
+            }
+            out.b[i] += rho_dt * (gi[0] * u.x + gi[1] * u.y + gi[2] * u.z) * m.dvol;
+        }
+    }
+    Some(out)
+}
+
+/// [`poisson_kernel`] monomorphized over the node count; bit-identical
+/// output (see [`momentum_kernel_n`]).
+pub fn poisson_kernel_n<const NN: usize>(
+    re: &RefElement,
+    scratch: &ElementScratch,
+    props: FluidProps,
+    dt: f64,
+) -> Option<LocalPoisson> {
+    let mut out = LocalPoisson { nn: NN, l: [[0.0; MAX_NODES]; MAX_NODES], b: [0.0; MAX_NODES] };
+    let rho_dt = props.density / dt;
+    for qp in &re.qps {
+        let m = map_qp(qp, &scratch.coords, NN)?;
+        let mut u = Vec3::ZERO;
+        for i in 0..NN {
+            u += scratch.vel[i] * m.n[i];
+        }
+        for i in 0..NN {
+            let gi = m.grad[i];
+            for j in 0..NN {
                 let gj = m.grad[j];
                 out.l[i][j] += (gi[0] * gj[0] + gi[1] * gj[1] + gi[2] * gj[2]) * m.dvol;
             }

@@ -33,6 +33,20 @@ fn jacobi(diag: &[f64], r: &[f64], z: &mut [f64]) {
 /// Preconditioned CG on an SPD matrix. `x` holds the initial guess on
 /// entry and the solution on return.
 pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -> SolveStats {
+    cg_with_history(a, b, x, tol, max_iters, None)
+}
+
+/// [`cg`] that additionally records the relative residual observed at
+/// the top of every iteration (the convergence history), for comparing
+/// solver variants (e.g. the fused parallel CG) against this reference.
+pub fn cg_with_history(
+    a: &CsrMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iters: usize,
+    mut history: Option<&mut Vec<f64>>,
+) -> SolveStats {
     let n = a.n;
     let diag = a.diagonal();
     let mut r = vec![0.0; n];
@@ -48,6 +62,9 @@ pub fn cg(a: &CsrMatrix, b: &[f64], x: &mut [f64], tol: f64, max_iters: usize) -
     let mut ap = vec![0.0; n];
     for it in 0..max_iters {
         let res = norm(&r) / b_norm;
+        if let Some(h) = history.as_deref_mut() {
+            h.push(res);
+        }
         if res < tol {
             return SolveStats { iterations: it, residual: res, converged: true };
         }

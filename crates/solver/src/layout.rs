@@ -1,0 +1,78 @@
+//! The opt-in locality layout plan.
+//!
+//! Three independent switches form the locality-aware hot path:
+//! RCM node reordering (applied to the mesh before solvers are built),
+//! kind-batched SoA assembly, and fused/nnz-balanced solver kernels.
+//! The default is **everything off**, and the default path's golden
+//! trace (`tests/golden/sync_small.golden`) must stay byte-identical
+//! whether or not this code is compiled in. The fully-enabled plan is
+//! pinned by its own golden (`tests/golden/sync_small_opt.golden`).
+
+/// Which locality optimizations a run enables. `Default` is all-off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayoutPlan {
+    /// Renumber mesh nodes with reverse Cuthill–McKee before building
+    /// matrices (shrinks CSR bandwidth → better SpMV/assembly locality).
+    pub rcm: bool,
+    /// Group each parallel unit's elements by `ElementKind` into SoA
+    /// batches with precomputed gather/scatter index lists.
+    pub batched_assembly: bool,
+    /// Use the fused, nnz-balanced, deterministic parallel CG for the
+    /// pressure solve instead of the serial reference CG.
+    pub fused_solver: bool,
+}
+
+impl LayoutPlan {
+    /// The default path: no layout optimization anywhere.
+    pub fn disabled() -> LayoutPlan {
+        LayoutPlan::default()
+    }
+
+    /// All locality optimizations on.
+    pub fn optimized() -> LayoutPlan {
+        LayoutPlan { rcm: true, batched_assembly: true, fused_solver: true }
+    }
+
+    /// Resolve from the `CFPD_LAYOUT` environment variable: `opt`
+    /// enables everything, anything else (or unset) is the default.
+    pub fn from_env() -> LayoutPlan {
+        match std::env::var("CFPD_LAYOUT").as_deref() {
+            Ok("opt") => LayoutPlan::optimized(),
+            _ => LayoutPlan::disabled(),
+        }
+    }
+
+    /// True when no optimization is enabled (the bit-identity path).
+    pub fn is_default(&self) -> bool {
+        *self == LayoutPlan::disabled()
+    }
+
+    /// Short label for trace headers and bench rows.
+    pub fn label(&self) -> &'static str {
+        if self.is_default() {
+            "default"
+        } else {
+            "opt"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(LayoutPlan::default().is_default());
+        assert_eq!(LayoutPlan::default(), LayoutPlan::disabled());
+        assert_eq!(LayoutPlan::disabled().label(), "default");
+    }
+
+    #[test]
+    fn optimized_enables_everything() {
+        let l = LayoutPlan::optimized();
+        assert!(l.rcm && l.batched_assembly && l.fused_solver);
+        assert!(!l.is_default());
+        assert_eq!(l.label(), "opt");
+    }
+}

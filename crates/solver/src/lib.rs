@@ -13,12 +13,18 @@
 //!   global writes (the phase used to isolate scheduling overhead);
 //! * [`csr`] — sparse storage with atomic and disjoint concurrent
 //!   scatter views; [`shape`] / [`kernels`] — isoparametric elements and
-//!   the local integrals.
+//!   the local integrals;
+//! * **Locality hot path** ([`layout`] / [`batch`] / fused kernels in
+//!   [`parallel`]) — the opt-in `LayoutPlan`: RCM-renumbered meshes,
+//!   kind-batched SoA assembly with precomputed gather/scatter lists,
+//!   and a fused nnz-balanced deterministic parallel CG.
 
 pub mod assembly;
+pub mod batch;
 pub mod csr;
 pub mod kernels;
 pub mod krylov;
+pub mod layout;
 pub mod parallel;
 pub mod sgs;
 pub mod shape;
@@ -26,9 +32,13 @@ pub mod shape;
 pub use assembly::{
     assemble_momentum, assemble_poisson, AssemblyPlan, AssemblyStats, AssemblyStrategy,
 };
+pub use batch::{
+    assemble_momentum_batched, assemble_poisson_batched, BatchSchedule, BatchSet, KindBatch,
+};
 pub use csr::{AtomicView, CsrMatrix, CsrPattern, DisjointView};
 pub use kernels::{ElementScratch, FluidProps};
-pub use krylov::{bicgstab, cg, SolveStats};
-pub use parallel::cg_parallel;
+pub use krylov::{bicgstab, cg, cg_with_history, SolveStats};
+pub use layout::LayoutPlan;
+pub use parallel::{axpy_dot_fused, cg_fused, cg_fused_history, cg_parallel, spmv_dot_fused};
 pub use sgs::{compute_sgs, SgsField, SgsStats};
 pub use shape::{map_qp, MappedQp, QuadPoint, RefElement, MAX_NODES, MAX_QP};

@@ -7,7 +7,9 @@ use crate::assembly::{AssemblyPlan, AssemblyStrategy};
 use crate::kernels::{sgs_kernel, ElementScratch, FluidProps};
 use crate::shape::RefElement;
 use cfpd_mesh::{Mesh, Vec3};
-use cfpd_runtime::{parallel_for, Dep, TaskGraph, ThreadPool};
+use cfpd_runtime::{
+    balanced_ranges, parallel_for, parallel_for_ranges, prefix_weights, Dep, TaskGraph, ThreadPool,
+};
 use std::cell::UnsafeCell;
 
 /// Per-element, per-quadrature-point subgrid velocity storage.
@@ -131,8 +133,15 @@ pub fn compute_sgs(
         AssemblyStrategy::Atomics => {
             // "Atomics" SGS is just a plain parallel loop — no shared
             // update exists, so no atomic is emitted (paper §4.3).
+            // Chunked by quadrature-point count, not element count:
+            // boundary-layer prisms carry more qps (and more inner
+            // iterations) than core tets.
             let elems = &plan.elems;
-            parallel_for(pool, 0..elems.len(), 32, |range| {
+            let prefix = prefix_weights(elems.len(), |k| {
+                mesh.kinds[elems[k] as usize].num_quad_points() as u32
+            });
+            let ranges = balanced_ranges(&prefix, pool.max_workers().max(1) * 8);
+            parallel_for_ranges(pool, &ranges, |_c, range| {
                 let mut scratch = ElementScratch::default();
                 for k in range {
                     process(&mut scratch, elems[k] as usize);

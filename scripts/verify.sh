@@ -9,6 +9,12 @@
 #     bit-identical to the fault-free run (exit 0), and a fault storm
 #     must terminate with a structured deadlock report (exit 3) instead
 #     of hanging — both under a hard wall-clock cap,
+#   * a golden double-run: the default layout must match the checked-in
+#     golden byte-for-byte (the locality hot path is compiled in but
+#     must be invisible while disabled), and CFPD_LAYOUT=opt must match
+#     its own checked-in golden,
+#   * a bench smoke: the hotpath benchmark's --quick run must complete
+#     and emit its JSON,
 #   * a warning gate on cfpd-testkit: the verification stack itself must
 #     compile without a single compiler warning.
 set -euo pipefail
@@ -29,6 +35,16 @@ if [ "$rc" -ne 3 ]; then
     echo "FAIL: chaos storm exited $rc, expected 3 (structured deadlock report)" >&2
     exit 1
 fi
+
+echo "== golden double-run (default + opt layout) =="
+timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small.golden \
+    || { echo "FAIL: default-layout golden drifted" >&2; exit 1; }
+CFPD_LAYOUT=opt timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small_opt.golden \
+    || { echo "FAIL: opt-layout golden drifted" >&2; exit 1; }
+
+echo "== bench smoke (hotpath --quick) =="
+timeout 300 target/release/hotpath --quick >/dev/null
+test -s results/BENCH_hotpath_quick.json || { echo "FAIL: BENCH_hotpath_quick.json missing" >&2; exit 1; }
 
 echo "== testkit warning gate =="
 touch crates/testkit/src/lib.rs

@@ -6,7 +6,7 @@
 //! Regenerate the golden after an *intended* physics change:
 //! `CFPD_BLESS=1 cargo test -p cfpd-core --test golden_trace`
 
-use cfpd_core::{golden_config, golden_trace};
+use cfpd_core::{golden_config, golden_trace, LayoutPlan};
 use std::path::PathBuf;
 
 const GOLDEN_RANKS: usize = 2;
@@ -15,19 +15,18 @@ fn golden_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/sync_small.golden")
 }
 
-/// The physics gate: any bit drift in assembly, solves, fields,
-/// migration or deposition shows up as a diff against the golden file.
-#[test]
-fn trace_matches_checked_in_golden() {
-    let actual = golden_trace(&golden_config(), GOLDEN_RANKS);
-    let path = golden_path();
+fn opt_golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/sync_small_opt.golden")
+}
+
+fn assert_matches_golden(actual: &str, path: &PathBuf) {
     if std::env::var_os("CFPD_BLESS").is_some() {
         std::fs::create_dir_all(path.parent().unwrap()).unwrap();
-        std::fs::write(&path, &actual).unwrap();
+        std::fs::write(path, actual).unwrap();
         eprintln!("blessed {}", path.display());
         return;
     }
-    let expected = std::fs::read_to_string(&path)
+    let expected = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with CFPD_BLESS=1", path.display()));
     if actual != expected {
         // Locate the first diverging line for a readable failure.
@@ -49,6 +48,29 @@ fn trace_matches_checked_in_golden() {
             ),
         }
     }
+}
+
+/// The physics gate: any bit drift in assembly, solves, fields,
+/// migration or deposition shows up as a diff against the golden file.
+#[test]
+fn trace_matches_checked_in_golden() {
+    let actual = golden_trace(&golden_config(), GOLDEN_RANKS);
+    assert_matches_golden(&actual, &golden_path());
+}
+
+/// The locality-optimized path (RCM + batched assembly + fused CG) is
+/// deterministic too and pinned by its own golden file — the default
+/// golden above proves the optimization is invisible when disabled.
+#[test]
+fn opt_layout_trace_matches_its_own_golden() {
+    let mut cfg = golden_config();
+    cfg.layout = LayoutPlan::optimized();
+    let actual = golden_trace(&cfg, GOLDEN_RANKS);
+    assert!(
+        actual.lines().nth(2).unwrap_or("").ends_with("layout=opt"),
+        "opt trace must be marked in the run header"
+    );
+    assert_matches_golden(&actual, &opt_golden_path());
 }
 
 /// Determinism in-process: two runs in the same process produce

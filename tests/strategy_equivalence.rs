@@ -8,7 +8,8 @@ use cfpd_mesh::{generate_airway, AirwaySpec, TubeParams, Vec3};
 use cfpd_partition::{decompose_subdomains, greedy_coloring, local_element_graph, Graph};
 use cfpd_runtime::ThreadPool;
 use cfpd_solver::{
-    assemble_momentum, AssemblyPlan, AssemblyStrategy, CsrMatrix, FluidProps, RefElement,
+    assemble_momentum, assemble_momentum_batched, AssemblyPlan, AssemblyStrategy, CsrMatrix,
+    FluidProps, RefElement,
 };
 use cfpd_testkit::prop::{check, f64_range, map, usize_range, Gen, PropConfig};
 
@@ -86,6 +87,79 @@ fn strategies_assemble_identical_matrices() {
                         (x - y).abs() <= 1e-9 * scale,
                         "strategy {k} entry {i}: {x} vs {y}"
                     );
+                }
+            }
+        },
+    );
+}
+
+/// The kind-batched SoA assembly (opt-in `LayoutPlan` path) agrees with
+/// the serial unbatched reference under all four strategies on random
+/// meshes — batching regroups the element summation order (by kind /
+/// per unit) but must not change the assembled system beyond FP
+/// reassociation.
+#[test]
+fn batched_assembly_matches_reference_under_all_strategies() {
+    let gen = (arb_spec(), usize_range(4, 32));
+    check(
+        "batched_assembly_matches_reference_under_all_strategies",
+        PropConfig::cases(6),
+        &gen,
+        |(spec, n_sub)| {
+            let airway = generate_airway(spec).unwrap();
+            let mesh = &airway.mesh;
+            let n2e = mesh.node_to_elements();
+            let template = CsrMatrix::from_mesh(mesh, &n2e);
+            let refs = RefElement::all();
+            let pool = ThreadPool::new(4);
+            let velocity: Vec<Vec3> =
+                mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect();
+            let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+            let zero_p = vec![0.0; mesh.num_nodes()];
+
+            let assemble = |batched: bool, strategy: AssemblyStrategy| {
+                let plan = if batched {
+                    AssemblyPlan::with_batches(mesh, elems.clone(), strategy, *n_sub, &template)
+                } else {
+                    AssemblyPlan::new(mesh, elems.clone(), strategy, *n_sub)
+                };
+                let mut a = template.clone();
+                let mut rhs = vec![vec![0.0; mesh.num_nodes()]; 3];
+                let f = if batched { assemble_momentum_batched } else { assemble_momentum };
+                f(
+                    &pool,
+                    &refs,
+                    mesh,
+                    &plan,
+                    &velocity,
+                    &zero_p,
+                    FluidProps::default(),
+                    1e-4,
+                    Vec3::new(0.0, 0.0, -9.81),
+                    &mut a,
+                    &mut rhs,
+                );
+                (a.values, rhs)
+            };
+
+            let (vals_ref, rhs_ref) = assemble(false, AssemblyStrategy::Serial);
+            for strategy in AssemblyStrategy::ALL {
+                let (vals, rhs) = assemble(true, strategy);
+                for (i, (x, y)) in vals.iter().zip(&vals_ref).enumerate() {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    assert!(
+                        (x - y).abs() <= 1e-9 * scale,
+                        "batched {strategy:?} entry {i}: {x} vs {y}"
+                    );
+                }
+                for c in 0..3 {
+                    for (i, (x, y)) in rhs[c].iter().zip(&rhs_ref[c]).enumerate() {
+                        let scale = x.abs().max(y.abs()).max(1.0);
+                        assert!(
+                            (x - y).abs() <= 1e-9 * scale,
+                            "batched {strategy:?} rhs[{c}][{i}]: {x} vs {y}"
+                        );
+                    }
                 }
             }
         },
