@@ -157,6 +157,13 @@ fn write_json(
     let mut f = std::fs::File::create(&path).expect("create json");
     f.write_all(body.as_bytes()).expect("write json");
     println!("[written to {}]", path.display());
+
+    if !quick {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let root_path = root.join("BENCH_hotpath.json");
+        std::fs::write(&root_path, body.as_bytes()).expect("write root json");
+        println!("[written to {}]", root_path.display());
+    }
 }
 
 fn main() {

@@ -1,0 +1,129 @@
+//! Telemetry overhead microbench.
+//!
+//! Times the per-operation cost of each telemetry primitive, most
+//! importantly the disabled fast path: a `count!` with telemetry off
+//! must stay in the single-digit-ns range so the hooks can remain
+//! compiled into every hot loop unconditionally.
+//!
+//! Writes `results/BENCH_telemetry_overhead.json` plus a repo-root
+//! copy `BENCH_telemetry_overhead.json` (same row schema as
+//! `BENCH_hotpath.json`: `{ name, median_ns, iters, elements }`,
+//! where `median_ns` is per-op and `elements` is ops per sample).
+
+use std::io::Write;
+
+use cfpd_telemetry::pop::PopPhase;
+use cfpd_telemetry::{self as tel, Span};
+use cfpd_testkit::bench::{Bench, BenchConfig, BenchStats};
+
+const OPS: usize = 1_000_000;
+const OPS_QUICK: usize = 100_000;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let ops = if quick { OPS_QUICK } else { OPS };
+    let config = if quick {
+        BenchConfig { warmup: 1, samples: 5 }
+    } else {
+        BenchConfig { warmup: 3, samples: 15 }
+    };
+    let mut b = Bench::with_config("telemetry_overhead", config);
+
+    // Disabled path: the macro's `enabled()` check short-circuits, so
+    // this is the cost every instrumented hot loop pays when telemetry
+    // is off. black_box keeps the loop from being optimised away.
+    tel::set_enabled(false);
+    b.bench("counter_disabled", || {
+        for i in 0..ops {
+            tel::count!("bench.overhead.disabled");
+            std::hint::black_box(i);
+        }
+    });
+
+    tel::set_enabled(true);
+    tel::reset();
+    b.bench("counter_enabled", || {
+        for i in 0..ops {
+            tel::count!("bench.overhead.enabled");
+            std::hint::black_box(i);
+        }
+    });
+
+    b.bench("histogram_record", || {
+        for i in 0..ops {
+            tel::observe!("bench.overhead.hist", (i & 0xffff) as u64);
+        }
+    });
+
+    // Span covers two Instant::now() calls plus a histogram record.
+    let span_ops = ops / 10;
+    let span_hist = tel::histogram("bench.overhead.span_ns");
+    b.bench("span_create_drop", || {
+        for _ in 0..span_ops {
+            let s = Span::start(span_hist);
+            std::hint::black_box(&s);
+        }
+    });
+
+    let pop_ops = ops / 10;
+    b.bench("pop_phase", || {
+        for i in 0..pop_ops {
+            let t = i as f64 * 1e-9;
+            tel::pop::phase(0, PopPhase::Solver1, t, t + 1e-9);
+        }
+    });
+    tel::set_enabled(false);
+    tel::reset();
+
+    println!("telemetry overhead ({} ops/sample{})", ops, if quick { ", quick" } else { "" });
+    for (name, stats) in b.rows() {
+        let per_op = per_op_ns(stats, ops_for(name, ops));
+        println!("  {name:<20} {per_op:>8.2} ns/op  (median of {} samples)", stats.samples);
+    }
+
+    write_json(b.rows(), ops, quick);
+}
+
+fn ops_for(name: &str, ops: usize) -> usize {
+    match name {
+        "span_create_drop" | "pop_phase" => ops / 10,
+        _ => ops,
+    }
+}
+
+fn per_op_ns(stats: &BenchStats, ops: usize) -> f64 {
+    stats.median * 1e9 / ops as f64
+}
+
+fn write_json(rows: &[(String, BenchStats)], ops: usize, quick: bool) {
+    let mut body = String::from("{\n");
+    body.push_str(&format!(
+        "  \"bench\": \"telemetry_overhead\",\n  \"quick\": {quick},\n  \"ops_per_sample\": {ops},\n"
+    ));
+    body.push_str("  \"rows\": [\n");
+    for (i, (name, stats)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        let n = ops_for(name, ops);
+        body.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"median_ns\": {:.3}, \"iters\": {}, \"elements\": {n} }}{sep}\n",
+            per_op_ns(stats, n),
+            stats.samples,
+        ));
+    }
+    body.push_str("  ]\n}\n");
+
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let stem = if quick { "BENCH_telemetry_overhead_quick" } else { "BENCH_telemetry_overhead" };
+    let path = dir.join(format!("{stem}.json"));
+    let mut f = std::fs::File::create(&path).expect("create json");
+    f.write_all(body.as_bytes()).expect("write json");
+    println!("[written to {}]", path.display());
+
+    if !quick {
+        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let root_path = root.join("BENCH_telemetry_overhead.json");
+        std::fs::write(&root_path, body.as_bytes()).expect("write root json");
+        println!("[written to {}]", root_path.display());
+    }
+}

@@ -6,11 +6,16 @@
 //!              [--particles N] [--steps N] [--strategy S]
 //! cfpd profile [--ranks N] [--particles N]         Table-1-style profile
 //! cfpd golden  [--ranks N] [--layout opt]          deterministic trace
-//! cfpd chaos   [--seed S] [--ranks N] [--dlb] [--storm]
+//! cfpd chaos   [--seed S] [--ranks N] [--dlb] [--storm] [--json]
 //!                                                  seeded fault-injection run
+//! cfpd report  [--ranks N] [--json]                telemetry + POP rollup
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (tiny flag set).
+//!
+//! With `CFPD_TELEMETRY=1`, `golden` and `chaos` print an end-of-run
+//! telemetry summary to **stderr** — stdout stays byte-identical to the
+//! checked-in goldens.
 
 use cfpd_core::{
     golden_config, golden_trace, measure_workload, run_simulation, run_simulation_fallible,
@@ -23,6 +28,7 @@ use cfpd_solver::AssemblyStrategy;
 use cfpd_trace::render_timeline;
 
 fn main() {
+    cfpd_telemetry::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let flags = Flags::parse(&args[1.min(args.len())..]);
@@ -32,19 +38,29 @@ fn main() {
         "profile" => cmd_profile(&flags),
         "golden" => cmd_golden(&flags),
         "chaos" => cmd_chaos(&flags),
+        "report" => cmd_report(&flags),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile|golden|chaos> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden|chaos|report> [flags]\n\
                  \n\
                  mesh    --generations N  --vtk FILE\n\
                  run     --ranks N  --threads N  --dlb  --coupled F P\n\
                  \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
                  profile --ranks N  --particles N\n\
                  golden  --ranks N  --layout opt\n\
-                 chaos   --seed S  --ranks N  --dlb  --storm"
+                 chaos   --seed S  --ranks N  --dlb  --storm  --json\n\
+                 report  --ranks N  --json"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
+    }
+}
+
+/// End-of-run telemetry summary on stderr (never stdout: the golden
+/// files diff stdout byte-for-byte). No-op unless `CFPD_TELEMETRY=1`.
+fn telemetry_summary_to_stderr() {
+    if cfpd_telemetry::enabled() {
+        eprint!("{}", cfpd_telemetry::snapshot().render_table());
     }
 }
 
@@ -189,6 +205,7 @@ fn cmd_golden(flags: &Flags) {
         None => cfpd_solver::LayoutPlan::from_env(),
     };
     print!("{}", golden_trace(&config, ranks));
+    telemetry_summary_to_stderr();
 }
 
 /// Run the canonical golden-config case under a seeded fault plan.
@@ -207,58 +224,103 @@ fn cmd_chaos(flags: &Flags) {
     let seed: u64 = flags.get("--seed").map(|v| v.parse().expect("--seed")).unwrap_or(7);
     let ranks = flags.usize_or("--ranks", 2);
     let dlb = flags.has("--dlb");
+    let json = flags.has("--json");
     let lease = dlb.then(|| std::time::Duration::from_millis(50));
     let config = golden_config();
 
     if flags.has("--storm") {
-        println!("chaos storm: seed {seed}, {ranks} ranks — message loss beyond the redelivery bound");
+        if !json {
+            println!("chaos storm: seed {seed}, {ranks} ranks — message loss beyond the redelivery bound");
+        }
         let opts = RunOptions { dlb, lease, fault: Some(FaultConfig::storm(seed)), ..Default::default() };
         match run_simulation_fallible(&config, ranks, 1, &opts) {
             Err(fails) => {
-                println!("run terminated with structured diagnostics on {} rank(s):", fails.len());
-                let mut saw_report = false;
-                for (rank, msg) in &fails {
-                    println!("--- rank {rank} ---\n{msg}");
-                    saw_report |= msg.to_lowercase().contains("deadlock");
+                let saw_report =
+                    fails.iter().any(|(_, m)| m.to_lowercase().contains("deadlock"));
+                if json {
+                    println!("{}", storm_json(seed, ranks, saw_report, &fails));
+                } else {
+                    println!(
+                        "run terminated with structured diagnostics on {} rank(s):",
+                        fails.len()
+                    );
+                    for (rank, msg) in &fails {
+                        println!("--- rank {rank} ---\n{msg}");
+                    }
                 }
+                telemetry_summary_to_stderr();
                 std::process::exit(if saw_report { 3 } else { 4 });
             }
             Ok(_) => {
-                println!("unexpected: storm run completed without a deadlock report");
+                if json {
+                    println!("{}", storm_json(seed, ranks, false, &[]));
+                } else {
+                    println!("unexpected: storm run completed without a deadlock report");
+                }
+                telemetry_summary_to_stderr();
                 std::process::exit(4);
             }
         }
     }
 
-    println!(
-        "chaos: seed {seed}, {ranks} ranks, benign fault plan \
-         (delays, reorders, drops+redelivery, stalls), DLB {}",
-        if dlb { "on" } else { "off" }
-    );
+    if !json {
+        println!(
+            "chaos: seed {seed}, {ranks} ranks, benign fault plan \
+             (delays, reorders, drops+redelivery, stalls), DLB {}",
+            if dlb { "on" } else { "off" }
+        );
+    }
     let clean = run_simulation(&config, ranks, 1, false);
     let opts = RunOptions { dlb, lease, fault: Some(FaultConfig::benign(seed)), ..Default::default() };
     let faulted = run_simulation_opts(&config, ranks, 1, &opts);
 
     use cfpd_simmpi::FaultEventKind as K;
     let count = |pred: fn(&K) -> bool| faulted.faults.iter().filter(|e| pred(&e.kind)).count();
-    println!(
-        "injected: {} delays, {} reorders, {} drops (all redelivered), {} stalls, {} timeouts observed",
-        count(|k| matches!(k, K::Delay { .. })),
-        count(|k| matches!(k, K::Reorder)),
-        count(|k| matches!(k, K::DropRedeliver)),
-        count(|k| matches!(k, K::Stall { .. })),
-        count(|k| matches!(k, K::Timeout)),
-    );
-    println!("{}", render_timeline(&faulted.trace, 120, 16));
+    let injected = [
+        ("delays", count(|k| matches!(k, K::Delay { .. }))),
+        ("reorders", count(|k| matches!(k, K::Reorder))),
+        ("drops_redelivered", count(|k| matches!(k, K::DropRedeliver))),
+        ("stalls", count(|k| matches!(k, K::Stall { .. }))),
+        ("timeouts_observed", count(|k| matches!(k, K::Timeout))),
+    ];
 
     let events_match = clean.logical == faulted.logical;
     let census_match = clean.census == faulted.census;
-    if events_match && census_match {
+    let identical = events_match && census_match;
+
+    if json {
+        let mut w = cfpd_telemetry::JsonWriter::new();
+        w.begin_object();
+        w.key("mode").string("benign");
+        w.key("seed").u64(seed);
+        w.key("ranks").u64(ranks as u64);
+        w.key("dlb").bool(dlb);
+        w.key("injected").begin_object();
+        for (name, n) in injected {
+            w.key(name).u64(n as u64);
+        }
+        w.end_object();
+        w.key("logical_events").u64(clean.logical.len() as u64);
+        w.key("verdict").string(if identical { "bit-identical" } else { "diverged" });
+        w.end_object();
+        println!("{}", w.finish());
+        telemetry_summary_to_stderr();
+        std::process::exit(if identical { 0 } else { 1 });
+    }
+
+    println!(
+        "injected: {} delays, {} reorders, {} drops (all redelivered), {} stalls, {} timeouts observed",
+        injected[0].1, injected[1].1, injected[2].1, injected[3].1, injected[4].1,
+    );
+    println!("{}", render_timeline(&faulted.trace, 120, 16));
+
+    if identical {
         println!(
             "VERDICT: bit-identical — {} logical events (field digests included) and the \
              final census match the fault-free run",
             clean.logical.len()
         );
+        telemetry_summary_to_stderr();
         std::process::exit(0);
     }
     if let Some((i, (a, b))) = clean
@@ -279,7 +341,93 @@ fn cmd_chaos(flags: &Flags) {
         );
     }
     println!("VERDICT: DIVERGED — benign faults must never change the physics");
+    telemetry_summary_to_stderr();
     std::process::exit(1);
+}
+
+/// Structured storm-mode report (the deadlock diagnostics as JSON).
+fn storm_json(seed: u64, ranks: usize, deadlock: bool, fails: &[(usize, String)]) -> String {
+    let mut w = cfpd_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("mode").string("storm");
+    w.key("seed").u64(seed);
+    w.key("ranks").u64(ranks as u64);
+    w.key("deadlock").bool(deadlock);
+    w.key("failures").begin_array();
+    for (rank, msg) in fails {
+        w.begin_object();
+        w.key("rank").u64(*rank as u64);
+        w.key("message").string(msg);
+        w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    w.finish()
+}
+
+/// Run the canonical golden-config simulation with telemetry enabled
+/// and print the merged snapshot — counters, gauges, histograms and the
+/// online POP rollup — as a text table or (`--json`) one JSON document.
+///
+/// The output also carries a `trace_crosscheck` section computing the
+/// same POP metrics post hoc from the wall-clock `cfpd_trace` events of
+/// the very same run; the two agree to ~1e-16 (the regression suite
+/// pins 1e-9), which is the evidence the cheap online rollup can stand
+/// in for full tracing in production.
+fn cmd_report(flags: &Flags) {
+    let ranks = flags.usize_or("--ranks", 2);
+    let config = golden_config();
+    cfpd_telemetry::set_enabled(true);
+    cfpd_telemetry::reset();
+    let r = run_simulation(&config, ranks, 1, false);
+    cfpd_telemetry::set_enabled(false);
+    let snap = cfpd_telemetry::snapshot();
+
+    // Post-hoc analysis of the same run, straight from cfpd-trace.
+    let ts = cfpd_trace::trace_stats(&r.trace);
+    let n = r.trace.num_ranks.max(1);
+    let mut useful = vec![0.0f64; n];
+    for e in &r.trace.events {
+        if e.phase != cfpd_trace::Phase::MpiComm {
+            useful[e.rank] += e.duration();
+        }
+    }
+    let lb = cfpd_trace::load_balance(&useful);
+    let max_useful = useful.iter().cloned().fold(0.0f64, f64::max);
+    let comm_e = if ts.wall_time > 0.0 && max_useful > 0.0 {
+        max_useful / ts.wall_time
+    } else {
+        1.0
+    };
+
+    if flags.has("--json") {
+        let mut w = cfpd_telemetry::JsonWriter::new();
+        w.begin_object();
+        w.key("ranks").u64(n as u64);
+        w.key("wall_time_s").f64(ts.wall_time);
+        w.key("parallel_efficiency").f64(ts.parallel_efficiency);
+        w.key("load_balance").f64(lb);
+        w.key("comm_efficiency").f64(comm_e);
+        w.end_object();
+        // The snapshot renders itself; splice the two documents into one.
+        println!(r#"{{"telemetry":{},"trace_crosscheck":{}}}"#, snap.render_json(), w.finish());
+    } else {
+        print!("{}", snap.render_table());
+        println!("[trace crosscheck]");
+        println!("  wall_time_s         {:>12.6}", ts.wall_time);
+        println!("  parallel_efficiency {:>12.6}", ts.parallel_efficiency);
+        println!("  load_balance        {:>12.6}", lb);
+        println!("  comm_efficiency     {:>12.6}", comm_e);
+        if let Some(pop) = &snap.pop {
+            println!(
+                "  max |delta|         {:>12.3e}",
+                (pop.parallel_efficiency - ts.parallel_efficiency)
+                    .abs()
+                    .max((pop.load_balance - lb).abs())
+                    .max((pop.comm_efficiency - comm_e).abs())
+            );
+        }
+    }
 }
 
 fn cmd_profile(flags: &Flags) {

@@ -381,6 +381,25 @@ fn rank_main(
     }
 }
 
+/// Telemetry mirror of a wall-clock phase attribution: feed the *same*
+/// `(rank, phase, t_start, t_end)` f64 values to the online POP table
+/// that `Trace::record` logs, so the rollup and the post-hoc
+/// `cfpd_trace` analysis agree to floating-point reassociation error
+/// (well under the 1e-9 the regression test pins).
+#[inline]
+fn pop_record(rank: usize, phase: Phase, t_start: f64, t_end: f64) {
+    use cfpd_telemetry::pop::{self, PopPhase};
+    let p = match phase {
+        Phase::MpiComm => PopPhase::Mpi,
+        Phase::Assembly => PopPhase::Assembly,
+        Phase::Solver1 => PopPhase::Solver1,
+        Phase::Solver2 => PopPhase::Solver2,
+        Phase::Sgs => PopPhase::Sgs,
+        Phase::Particles => PopPhase::Particles,
+    };
+    pop::phase(rank, p, t_start, t_end);
+}
+
 /// Partition all mesh elements into `n` cost-weighted parts; returns
 /// (my part's elements, element→owner map).
 fn partition_elements(
@@ -425,6 +444,7 @@ fn sync_rank(
     let mut mine = ParticleSet::default();
     let start_step = match &window.restore {
         Some(cp) => {
+            cfpd_telemetry::count!("core.checkpoint_restores");
             // Resume: overwrite the persistent cross-step state (fields,
             // SGS vectors, particle SoA) with the snapshot; the RNG only
             // runs at step-0 injection, so nothing else needs replaying.
@@ -475,6 +495,7 @@ fn sync_rank(
     let t = |epoch: std::time::Instant| epoch.elapsed().as_secs_f64();
     let capture = |fs: &FluidSolver, mine: &ParticleSet, trace: &mut Trace, now: f64| {
         trace.record_chaos(rank, now, ChaosKind::CheckpointWritten);
+        cfpd_telemetry::count!("core.checkpoints_written");
         RankCheckpoint {
             rank,
             velocity: fs.velocity.clone(),
@@ -504,8 +525,10 @@ fn sync_rank(
             (Phase::Sgs, report.t_sgs),
         ] {
             trace.record(rank, phase, cursor, cursor + dur);
+            pop_record(rank, phase, cursor, cursor + dur);
             cursor += dur;
         }
+        cfpd_telemetry::count!("core.rank_steps");
         log_fluid_step(&mut logical, step, rank, &report, &fs.velocity, &fs.pressure);
 
         // ---- particle phase -------------------------------------------
@@ -522,7 +545,9 @@ fn sync_rank(
         // Migration: ship particles that crossed into foreign subdomains.
         let outgoing = collect_migrants(&mut mine, &owner, rank);
         let (sent, received) = exchange_migrants(&comm, outgoing, &mut mine, None);
-        trace.record(rank, Phase::Particles, tp, t(epoch));
+        let tp_end = t(epoch);
+        trace.record(rank, Phase::Particles, tp, tp_end);
+        pop_record(rank, Phase::Particles, tp, tp_end);
         logical.push(LogicalEvent::Exchange { step, rank, sent, received });
         let c = mine.census();
         logical.push(LogicalEvent::Particles {
@@ -592,8 +617,10 @@ fn coupled_rank(
                 (Phase::Sgs, report.t_sgs),
             ] {
                 trace.record(world_rank, phase, cursor, cursor + dur);
+                pop_record(world_rank, phase, cursor, cursor + dur);
                 cursor += dur;
             }
+            cfpd_telemetry::count!("core.rank_steps");
             log_fluid_step(&mut logical, step, world_rank, &report, &fs.velocity, &fs.pressure);
             // Fluid group root ships the velocity field to every particle
             // rank (Fig. 3's "send velocity"), then continues.
@@ -603,7 +630,9 @@ fn coupled_rank(
                     comm.send(dest, TAG_VELOCITY, fs.velocity.clone());
                 }
             }
-            trace.record(world_rank, Phase::MpiComm, tc, t(epoch));
+            let tc_end = t(epoch);
+            trace.record(world_rank, Phase::MpiComm, tc, tc_end);
+            pop_record(world_rank, Phase::MpiComm, tc, tc_end);
         }
         census = ParticleCensus::default();
     } else {
@@ -642,7 +671,9 @@ fn coupled_rank(
             // point for idle particle ranks.
             let tw = t(epoch);
             let velocity: Vec<Vec3> = comm.recv(0, TAG_VELOCITY);
-            trace.record(world_rank, Phase::MpiComm, tw, t(epoch));
+            let tw_end = t(epoch);
+            trace.record(world_rank, Phase::MpiComm, tw, tw_end);
+            pop_record(world_rank, Phase::MpiComm, tw, tw_end);
             let tp = t(epoch);
             step_particles(
                 &mut mine,
@@ -655,7 +686,10 @@ fn coupled_rank(
             );
             let outgoing = collect_migrants(&mut mine, &owner, group.rank());
             let (sent, received) = exchange_migrants(&group, outgoing, &mut mine, Some(f));
-            trace.record(world_rank, Phase::Particles, tp, t(epoch));
+            let tp_end = t(epoch);
+            trace.record(world_rank, Phase::Particles, tp, tp_end);
+            pop_record(world_rank, Phase::Particles, tp, tp_end);
+            cfpd_telemetry::count!("core.rank_steps");
             logical.push(LogicalEvent::Exchange { step, rank: world_rank, sent, received });
             let c = mine.census();
             logical.push(LogicalEvent::Particles {

@@ -202,6 +202,9 @@ impl DlbNode {
             s.lends += 1;
             s.cores_lent_total += lent;
         }
+        cfpd_telemetry::count!("dlb.lends");
+        cfpd_telemetry::count!("dlb.cores_lent_total", lent as u64);
+        cfpd_telemetry::gauge_add!("dlb.cores_lent_out", lent as i64);
         self.redistribute();
     }
 
@@ -221,6 +224,7 @@ impl DlbNode {
         // Take back exactly what was lent — including a kept core a
         // lease sweep donated mid-block — so no core is ever minted.
         let mut need = slot.lent_out;
+        let reclaimed = need;
         slot.lent_out = 0;
         slot.pool.set_active(slot.owned);
         let from_free = need.min(st.free_lent);
@@ -269,6 +273,10 @@ impl DlbNode {
         let mut s = self.stats.lock();
         s.reclaims += 1;
         s.revokes += revocations.len();
+        drop(s);
+        cfpd_telemetry::count!("dlb.reclaims");
+        cfpd_telemetry::count!("dlb.revokes", revocations.len() as u64);
+        cfpd_telemetry::gauge_add!("dlb.cores_lent_out", -(reclaimed as i64));
     }
 
     /// Declare a rank crashed (fail-silent): everything it still holds
@@ -307,6 +315,9 @@ impl DlbNode {
             s.crashes += 1;
             s.cores_lent_total += donated;
         }
+        cfpd_telemetry::count!("dlb.crashes");
+        cfpd_telemetry::count!("dlb.cores_lent_total", donated as u64);
+        cfpd_telemetry::gauge_add!("dlb.cores_lent_out", donated as i64);
         self.redistribute();
     }
 
@@ -344,11 +355,15 @@ impl DlbNode {
                 ev.push(DlbEvent { t, rank, kind: DlbEventKind::LeaseExpired { cores: donated } });
             }
         }
+        let swept_cores = swept.iter().map(|&(_, d)| d).sum::<usize>();
         {
             let mut s = self.stats.lock();
             s.lease_expiries += swept.len();
-            s.cores_lent_total += swept.iter().map(|&(_, d)| d).sum::<usize>();
+            s.cores_lent_total += swept_cores;
         }
+        cfpd_telemetry::count!("dlb.lease_expiries", swept.len() as u64);
+        cfpd_telemetry::count!("dlb.cores_lent_total", swept_cores as u64);
+        cfpd_telemetry::gauge_add!("dlb.cores_lent_out", swept_cores as i64);
         self.redistribute();
         swept.len()
     }
@@ -439,6 +454,7 @@ impl DlbNode {
         }
         drop(ev);
         self.stats.lock().grants += grants.len();
+        cfpd_telemetry::count!("dlb.grants", grants.len() as u64);
     }
 
     /// Snapshot of the event log.

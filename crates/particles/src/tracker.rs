@@ -295,6 +295,10 @@ pub fn step_particles_with(
             },
         }
     }
+    cfpd_telemetry::count!("particles.steps");
+    cfpd_telemetry::count!("particles.advected", stats.moved as u64);
+    cfpd_telemetry::count!("particles.deposited", stats.deposited as u64);
+    cfpd_telemetry::count!("particles.escaped", stats.escaped as u64);
     stats
 }
 

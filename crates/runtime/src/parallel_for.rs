@@ -27,6 +27,7 @@ where
             break;
         }
         let hi = (lo + grain).min(end);
+        cfpd_telemetry::count!("runtime.chunks");
         body(lo..hi);
     });
 }
@@ -50,6 +51,7 @@ where
             break;
         }
         let hi = (lo + grain).min(end);
+        cfpd_telemetry::count!("runtime.chunks");
         body(id, lo..hi);
     });
 }

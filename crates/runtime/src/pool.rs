@@ -113,6 +113,8 @@ impl ThreadPool {
     where
         F: Fn(usize) + Sync,
     {
+        cfpd_telemetry::count!("runtime.regions");
+        let _span = cfpd_telemetry::span!("runtime.region_ns");
         let participants = self.active();
         if participants <= 1 {
             body(0);

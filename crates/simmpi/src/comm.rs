@@ -44,6 +44,25 @@ pub const DEADLOCK_TIMEOUT: Duration = Duration::from_secs(60);
 /// condvar; the slice only bounds detection latency.
 const POLL_SLICE: Duration = Duration::from_millis(20);
 
+/// Classify a blocking wait for telemetry attribution. Histograms are
+/// per class, not per raw tag, so the metric name set stays bounded;
+/// barrier waits are recognised by [`BlockKind`] (the dissemination
+/// rounds mangle the reserved tag), collectives by their reserved tag.
+fn record_wait(kind: BlockKind, tag: u64, ns: u64) {
+    use cfpd_telemetry::observe;
+    if kind == BlockKind::Barrier {
+        observe!("mpi.wait_ns.barrier", ns);
+        return;
+    }
+    match u64::MAX.wrapping_sub(tag) {
+        2 => observe!("mpi.wait_ns.allreduce", ns),
+        3 => observe!("mpi.wait_ns.bcast", ns),
+        4 => observe!("mpi.wait_ns.gather", ns),
+        5 => observe!("mpi.wait_ns.split", ns),
+        _ => observe!("mpi.wait_ns.user", ns),
+    }
+}
+
 /// Panic payload of a fail-silent rank crash: the rank's thread unwinds
 /// with this instead of blocking forever once it has been declared dead
 /// by the fault plan. [`crate::Universe::run_fallible`] classifies it.
@@ -292,6 +311,8 @@ impl Comm {
         if self.diag.is_dead(self.global_rank) {
             return; // fail-silent: a dead rank's sends vanish
         }
+        cfpd_telemetry::count!("mpi.msgs_sent");
+        cfpd_telemetry::count!("mpi.bytes_sent", std::mem::size_of::<T>() as u64);
         let seq = self.state.next_seq(self.rank, dest, tag);
         let g_src = self.global_rank;
         let g_dest = self.state.global_ranks[dest];
@@ -365,11 +386,21 @@ impl Comm {
                 let msg = queue.take(pos);
                 drop(queue);
                 self.diag.bump_progress();
+                cfpd_telemetry::count!("mpi.msgs_received");
+                cfpd_telemetry::count!(
+                    "mpi.bytes_received",
+                    std::mem::size_of::<T>() as u64
+                );
                 if blocked {
                     if !self.helper {
                         self.diag.end_wait(self.global_rank);
                     }
                     self.hooks.on_unblock(self.global_rank, kind);
+                    if cfpd_telemetry::enabled() {
+                        let ns = u64::try_from(start.elapsed().as_nanos())
+                            .unwrap_or(u64::MAX);
+                        record_wait(kind, tag, ns);
+                    }
                 }
                 return Ok(*msg.payload.downcast::<T>().unwrap_or_else(|_| {
                     panic!("rank {}: recv type mismatch from {src} tag {tag}", self.rank)
@@ -422,6 +453,7 @@ impl Comm {
                 }
                 self.hooks.on_timeout(self.global_rank, kind);
                 self.hooks.on_unblock(self.global_rank, kind);
+                cfpd_telemetry::count!("mpi.timeouts");
                 return Err(CommError::Timeout { src, tag, waited: start.elapsed(), in_flight });
             }
         }

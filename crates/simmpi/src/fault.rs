@@ -268,6 +268,9 @@ impl ChaosHooks {
     }
 
     fn record(&self, rank: usize, kind: FaultEventKind) {
+        if kind != FaultEventKind::Timeout {
+            cfpd_telemetry::count!("mpi.faults_injected");
+        }
         let t = self.epoch.elapsed().as_secs_f64();
         self.log.lock().push(FaultEvent { t, rank, kind });
     }

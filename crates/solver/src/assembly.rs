@@ -252,6 +252,8 @@ where
     K: Fn(&mut ElementScratch, usize) -> Option<LocalBlock> + Sync,
 {
     assert!(rhs_dim <= 3 && rhs.len() == rhs_dim);
+    cfpd_telemetry::count!("solver.assemblies");
+    cfpd_telemetry::count!("solver.assembly_elements", plan.elems.len() as u64);
     let mut stats = AssemblyStats {
         elements: plan.elems.len(),
         weighted_ops: plan

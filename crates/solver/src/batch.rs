@@ -311,6 +311,8 @@ fn assemble_batched<C: BatchCtx>(
     rhs: &mut [Vec<f64>],
 ) -> AssemblyStats {
     assert_eq!(rhs.len(), C::RHS_DIM);
+    cfpd_telemetry::count!("solver.assemblies");
+    cfpd_telemetry::count!("solver.assembly_elements", plan.elems.len() as u64);
     let sched = plan
         .batch_schedule()
         .expect("plan built without batches; use AssemblyPlan::with_batches");

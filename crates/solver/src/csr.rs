@@ -141,6 +141,8 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f64], y: &mut [f64]) {
         assert_eq!(x.len(), self.n);
         assert_eq!(y.len(), self.n);
+        cfpd_telemetry::count!("solver.spmv_calls");
+        cfpd_telemetry::count!("solver.spmv_rows", self.n as u64);
         for row in 0..self.n {
             let lo = self.row_ptr[row] as usize;
             let hi = self.row_ptr[row + 1] as usize;

@@ -68,6 +68,7 @@ pub fn cg_with_history(
         if res < tol {
             return SolveStats { iterations: it, residual: res, converged: true };
         }
+        cfpd_telemetry::count!("solver.cg_iterations");
         a.spmv(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap.abs() < 1e-300 {
@@ -121,6 +122,7 @@ pub fn bicgstab(
         if res < tol {
             return SolveStats { iterations: it, residual: res, converged: true };
         }
+        cfpd_telemetry::count!("solver.bicgstab_iterations");
         let rho_new = dot(&r0, &r);
         if rho_new.abs() < 1e-300 {
             return SolveStats { iterations: it, residual: res, converged: false };

@@ -1,0 +1,188 @@
+//! A minimal JSON writer (zero-dependency), used by the telemetry
+//! snapshot renderer and by `cfpd chaos --json`.
+//!
+//! Emits compact, valid JSON with deterministic formatting: strings are
+//! escaped per RFC 8259, `f64`s use Rust's shortest round-trip form
+//! (non-finite values become `null`), and commas/keys are managed by a
+//! container stack, so callers cannot produce mismatched separators.
+
+/// Streaming JSON builder.
+pub struct JsonWriter {
+    out: String,
+    /// One frame per open container: `true` once it has a first element
+    /// (so the next element needs a comma).
+    stack: Vec<bool>,
+    /// A key was just written; the next value completes the pair.
+    pending_key: bool,
+}
+
+impl JsonWriter {
+    pub fn new() -> JsonWriter {
+        JsonWriter { out: String::new(), stack: Vec::new(), pending_key: false }
+    }
+
+    fn separate(&mut self) {
+        if self.pending_key {
+            self.pending_key = false;
+            return;
+        }
+        if let Some(has_elems) = self.stack.last_mut() {
+            if *has_elems {
+                self.out.push(',');
+            }
+            *has_elems = true;
+        }
+    }
+
+    /// Open `{`.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.separate();
+        self.out.push('{');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `}`.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_object without begin");
+        self.out.push('}');
+        self
+    }
+
+    /// Open `[`.
+    pub fn begin_array(&mut self) -> &mut Self {
+        self.separate();
+        self.out.push('[');
+        self.stack.push(false);
+        self
+    }
+
+    /// Close `]`.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.stack.pop().expect("end_array without begin");
+        self.out.push(']');
+        self
+    }
+
+    /// Write an object key; the next write is its value.
+    pub fn key(&mut self, k: &str) -> &mut Self {
+        self.separate();
+        self.write_escaped(k);
+        self.out.push(':');
+        self.pending_key = true;
+        self
+    }
+
+    pub fn string(&mut self, s: &str) -> &mut Self {
+        self.separate();
+        self.write_escaped(s);
+        self
+    }
+
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.separate();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.separate();
+        self.out.push_str(&v.to_string());
+        self
+    }
+
+    /// Shortest round-trip decimal; NaN/±inf render as `null` (JSON has
+    /// no non-finite numbers).
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.separate();
+        if v.is_finite() {
+            let s = format!("{v:?}");
+            self.out.push_str(&s);
+        } else {
+            self.out.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, v: bool) -> &mut Self {
+        self.separate();
+        self.out.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    fn write_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\r' => self.out.push_str("\\r"),
+                '\t' => self.out.push_str("\\t"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// The finished document. Panics if a container is still open — a
+    /// malformed document is a bug at the call site.
+    pub fn finish(self) -> String {
+        assert!(self.stack.is_empty(), "unclosed JSON container");
+        assert!(!self.pending_key, "dangling JSON key");
+        self.out
+    }
+}
+
+impl Default for JsonWriter {
+    fn default() -> Self {
+        JsonWriter::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nested_document_renders_compactly() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("name").string("telemetry");
+        w.key("counts").begin_array().u64(1).u64(2).u64(3).end_array();
+        w.key("nested").begin_object().key("pi").f64(0.5).key("ok").bool(true).end_object();
+        w.key("neg").i64(-7);
+        w.end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"telemetry","counts":[1,2,3],"nested":{"pi":0.5,"ok":true},"neg":-7}"#
+        );
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("msg").string("line1\nline2\t\"quoted\" \\ \u{1}");
+        w.end_object();
+        assert_eq!(w.finish(), r#"{"msg":"line1\nline2\t\"quoted\" \\ \u0001"}"#);
+    }
+
+    #[test]
+    fn nonfinite_floats_become_null() {
+        let mut w = JsonWriter::new();
+        w.begin_array().f64(f64::NAN).f64(f64::INFINITY).f64(1.25).end_array();
+        assert_eq!(w.finish(), "[null,null,1.25]");
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unbalanced_containers_panic() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        let _ = w.finish();
+    }
+}

@@ -1,0 +1,214 @@
+//! Read-side snapshot and its renderers.
+//!
+//! Both renderers are deterministic: metrics come from the registry in
+//! name order, histogram buckets in value order, POP phases in
+//! [`crate::PopPhase::ALL`] order. Two snapshots of identical recorded
+//! values render byte-identical documents.
+
+use crate::json::JsonWriter;
+use crate::metrics::HistSnapshot;
+use crate::pop::PopReport;
+use std::fmt::Write as _;
+
+/// A merged view of every registered metric plus the POP rollup, as
+/// produced by [`crate::snapshot`].
+pub struct TelemetrySnapshot {
+    /// `(name, merged value)` in name order.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, merged value)` in name order.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, merged view)` in name order.
+    pub histograms: Vec<(String, HistSnapshot)>,
+    /// `None` when no phase time was attributed.
+    pub pop: Option<PopReport>,
+}
+
+impl TelemetrySnapshot {
+    /// Is there anything to report?
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|(_, v)| *v == 0)
+            && self.gauges.iter().all(|(_, v)| *v == 0)
+            && self.histograms.iter().all(|(_, h)| h.count == 0)
+            && self.pop.is_none()
+    }
+
+    /// Fixed-width text table (zero-valued metrics are elided).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("== telemetry ==\n");
+        if let Some(pop) = &self.pop {
+            out.push_str("[pop]\n");
+            let _ = writeln!(out, "  ranks               {:>12}", pop.ranks);
+            let _ = writeln!(out, "  wall_time_s         {:>12.6}", pop.wall_time);
+            let _ = writeln!(out, "  useful_time_s       {:>12.6}", pop.useful_time);
+            let _ = writeln!(out, "  mpi_time_s          {:>12.6}", pop.mpi_time);
+            let _ = writeln!(out, "  parallel_efficiency {:>12.6}", pop.parallel_efficiency);
+            let _ = writeln!(out, "  load_balance        {:>12.6}", pop.load_balance);
+            let _ = writeln!(out, "  comm_efficiency     {:>12.6}", pop.comm_efficiency);
+            for (name, secs) in &pop.per_phase {
+                let _ = writeln!(out, "  phase.{:<13} {:>12.6}", name, secs);
+            }
+            if pop.dropped > 0 {
+                let _ = writeln!(out, "  dropped_spans       {:>12}", pop.dropped);
+            }
+        }
+        let live_counters: Vec<_> =
+            self.counters.iter().filter(|(_, v)| *v != 0).collect();
+        if !live_counters.is_empty() {
+            out.push_str("[counters]\n");
+            for (name, v) in live_counters {
+                let _ = writeln!(out, "  {name:<40} {v:>16}");
+            }
+        }
+        let live_gauges: Vec<_> = self.gauges.iter().filter(|(_, v)| *v != 0).collect();
+        if !live_gauges.is_empty() {
+            out.push_str("[gauges]\n");
+            for (name, v) in live_gauges {
+                let _ = writeln!(out, "  {name:<40} {v:>16}");
+            }
+        }
+        let live_hists: Vec<_> =
+            self.histograms.iter().filter(|(_, h)| h.count != 0).collect();
+        if !live_hists.is_empty() {
+            out.push_str("[histograms]\n");
+            for (name, h) in live_hists {
+                let _ = writeln!(
+                    out,
+                    "  {name:<40} count={} min={} mean={:.1} max={}",
+                    h.count,
+                    h.min,
+                    h.mean(),
+                    h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Compact JSON document (zero-valued metrics included — the schema
+    /// is stable regardless of what fired).
+    pub fn render_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("pop");
+        match &self.pop {
+            None => {
+                w.begin_object().end_object();
+            }
+            Some(pop) => {
+                w.begin_object();
+                w.key("ranks").u64(pop.ranks as u64);
+                w.key("wall_time_s").f64(pop.wall_time);
+                w.key("useful_time_s").f64(pop.useful_time);
+                w.key("mpi_time_s").f64(pop.mpi_time);
+                w.key("parallel_efficiency").f64(pop.parallel_efficiency);
+                w.key("load_balance").f64(pop.load_balance);
+                w.key("comm_efficiency").f64(pop.comm_efficiency);
+                w.key("per_rank_useful_s").begin_array();
+                for v in &pop.per_rank_useful {
+                    w.f64(*v);
+                }
+                w.end_array();
+                w.key("per_phase_s").begin_object();
+                for (name, secs) in &pop.per_phase {
+                    w.key(name).f64(*secs);
+                }
+                w.end_object();
+                w.key("dropped_spans").u64(pop.dropped);
+                w.end_object();
+            }
+        }
+        w.key("counters").begin_object();
+        for (name, v) in &self.counters {
+            w.key(name).u64(*v);
+        }
+        w.end_object();
+        w.key("gauges").begin_object();
+        for (name, v) in &self.gauges {
+            w.key(name).i64(*v);
+        }
+        w.end_object();
+        w.key("histograms").begin_object();
+        for (name, h) in &self.histograms {
+            w.key(name).begin_object();
+            w.key("count").u64(h.count);
+            w.key("sum").u64(h.sum);
+            w.key("min").u64(if h.count == 0 { 0 } else { h.min });
+            w.key("max").u64(h.max);
+            w.key("mean").f64(h.mean());
+            w.key("buckets").begin_array();
+            for (lo, hi, c) in h.nonzero_buckets() {
+                w.begin_object();
+                w.key("lo").u64(lo);
+                w.key("hi").u64(hi);
+                w.key("count").u64(c);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.end_object();
+        w.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::BUCKETS;
+
+    fn sample() -> TelemetrySnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        buckets[1] = 2;
+        buckets[3] = 1;
+        TelemetrySnapshot {
+            counters: vec![("a.count".into(), 3), ("b.zero".into(), 0)],
+            gauges: vec![("g.cores".into(), -2)],
+            histograms: vec![(
+                "h.wait".into(),
+                HistSnapshot { count: 3, sum: 7, min: 1, max: 5, buckets },
+            )],
+            pop: Some(PopReport {
+                ranks: 2,
+                wall_time: 3.0,
+                useful_time: 3.0,
+                mpi_time: 3.0,
+                parallel_efficiency: 0.5,
+                load_balance: 0.75,
+                comm_efficiency: 2.0 / 3.0,
+                per_rank_useful: vec![2.0, 1.0],
+                per_phase: vec![("mpi", 3.0), ("assembly", 2.0)],
+                dropped: 0,
+            }),
+        }
+    }
+
+    #[test]
+    fn renders_are_deterministic_and_structured() {
+        let s = sample();
+        assert_eq!(s.render_table(), s.render_table());
+        assert_eq!(s.render_json(), s.render_json());
+        let table = s.render_table();
+        assert!(table.contains("parallel_efficiency"));
+        assert!(table.contains("a.count"));
+        assert!(!table.contains("b.zero"), "zero counters elided from the table");
+        let json = s.render_json();
+        assert!(json.contains(r#""parallel_efficiency":0.5"#));
+        assert!(json.contains(r#""load_balance":0.75"#));
+        assert!(json.contains(r#""b.zero":0"#), "zero counters kept in JSON");
+        assert!(json.contains(r#""lo":4,"hi":7,"count":1"#));
+    }
+
+    #[test]
+    fn empty_snapshot_reports_empty() {
+        let s = TelemetrySnapshot {
+            counters: vec![("a".into(), 0)],
+            gauges: vec![],
+            histograms: vec![],
+            pop: None,
+        };
+        assert!(s.is_empty());
+        assert_eq!(s.render_json(), r#"{"pop":{},"counters":{"a":0},"gauges":{},"histograms":{}}"#);
+    }
+}

@@ -1,0 +1,51 @@
+//! RAII span timers.
+
+use crate::metrics::Histogram;
+use std::time::Instant;
+
+/// Times a region and records its elapsed nanoseconds into a histogram
+/// on drop. Construct via [`crate::span!`] (which skips the clock read
+/// entirely while telemetry is disabled) or [`Span::start`].
+pub struct Span {
+    hist: &'static Histogram,
+    start: Instant,
+}
+
+impl Span {
+    /// Start timing into `hist` (unconditionally — use [`crate::span!`]
+    /// for the enabled-gated form).
+    pub fn start(hist: &'static Histogram) -> Span {
+        Span { hist, start: Instant::now() }
+    }
+
+    /// Elapsed nanoseconds so far (saturating at `u64::MAX`).
+    pub fn elapsed_ns(&self) -> u64 {
+        let ns = self.start.elapsed().as_nanos();
+        u64::try_from(ns).unwrap_or(u64::MAX)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.hist.record_unchecked(self.elapsed_ns());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_records_elapsed() {
+        let _g = crate::testutil::guard();
+        let h = crate::histogram("span.unit");
+        h.reset();
+        {
+            let _s = Span::start(h);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let m = h.merged();
+        assert_eq!(m.count, 1);
+        assert!(m.min >= 500_000, "recorded {} ns", m.min);
+    }
+}

@@ -12,10 +12,14 @@
 #   * a golden double-run: the default layout must match the checked-in
 #     golden byte-for-byte (the locality hot path is compiled in but
 #     must be invisible while disabled), and CFPD_LAYOUT=opt must match
-#     its own checked-in golden,
+#     its own checked-in golden — and both byte-match again with
+#     CFPD_TELEMETRY=1, because telemetry summaries go to stderr only,
+#   * a telemetry smoke: `cfpd report --json` must emit valid JSON
+#     carrying the POP rollup keys, and the overhead bench's --quick run
+#     must complete and emit its JSON,
 #   * a bench smoke: the hotpath benchmark's --quick run must complete
 #     and emit its JSON,
-#   * a warning gate on cfpd-testkit: the verification stack itself must
+#   * a workspace-wide warning gate: every crate and every target must
 #     compile without a single compiler warning.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -35,6 +39,8 @@ if [ "$rc" -ne 3 ]; then
     echo "FAIL: chaos storm exited $rc, expected 3 (structured deadlock report)" >&2
     exit 1
 fi
+timeout 120 "$cfpd" chaos --seed 7 --json | python3 -m json.tool >/dev/null \
+    || { echo "FAIL: chaos --json is not valid JSON" >&2; exit 1; }
 
 echo "== golden double-run (default + opt layout) =="
 timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small.golden \
@@ -42,16 +48,36 @@ timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small.golden 
 CFPD_LAYOUT=opt timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small_opt.golden \
     || { echo "FAIL: opt-layout golden drifted" >&2; exit 1; }
 
-echo "== bench smoke (hotpath --quick) =="
+echo "== golden double-run under CFPD_TELEMETRY=1 (stderr-only contract) =="
+CFPD_TELEMETRY=1 timeout 120 "$cfpd" golden --ranks 2 2>/dev/null | diff -q - tests/golden/sync_small.golden \
+    || { echo "FAIL: telemetry perturbed the default golden" >&2; exit 1; }
+CFPD_TELEMETRY=1 CFPD_LAYOUT=opt timeout 120 "$cfpd" golden --ranks 2 2>/dev/null | diff -q - tests/golden/sync_small_opt.golden \
+    || { echo "FAIL: telemetry perturbed the opt golden" >&2; exit 1; }
+
+echo "== telemetry smoke (cfpd report --json) =="
+report=$(timeout 120 "$cfpd" report --json)
+python3 -m json.tool <<<"$report" >/dev/null \
+    || { echo "FAIL: cfpd report --json is not valid JSON" >&2; exit 1; }
+for key in parallel_efficiency load_balance comm_efficiency trace_crosscheck; do
+    grep -q "\"$key\"" <<<"$report" \
+        || { echo "FAIL: cfpd report --json missing key $key" >&2; exit 1; }
+done
+
+echo "== bench smoke (hotpath --quick + telemetry overhead --quick) =="
 timeout 300 target/release/hotpath --quick >/dev/null
 test -s results/BENCH_hotpath_quick.json || { echo "FAIL: BENCH_hotpath_quick.json missing" >&2; exit 1; }
+timeout 300 target/release/overhead --quick >/dev/null
+test -s results/BENCH_telemetry_overhead_quick.json \
+    || { echo "FAIL: BENCH_telemetry_overhead_quick.json missing" >&2; exit 1; }
+python3 -m json.tool results/BENCH_telemetry_overhead_quick.json >/dev/null \
+    || { echo "FAIL: telemetry overhead JSON invalid" >&2; exit 1; }
 
-echo "== testkit warning gate =="
-touch crates/testkit/src/lib.rs
-out=$(cargo build --offline -p cfpd-testkit 2>&1)
+echo "== workspace warning gate =="
+find crates -name '*.rs' -path '*/src/*' -exec touch {} +
+out=$(cargo build --offline --all-targets 2>&1)
 if grep -q "^warning" <<<"$out"; then
     echo "$out"
-    echo "FAIL: cfpd-testkit emits compiler warnings" >&2
+    echo "FAIL: workspace emits compiler warnings" >&2
     exit 1
 fi
 

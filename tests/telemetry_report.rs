@@ -1,0 +1,188 @@
+//! Telemetry subsystem acceptance gates.
+//!
+//! The online POP rollup maintained by `cfpd-telemetry` during a run
+//! must agree with the post-hoc analysis `cfpd-trace` performs on the
+//! very same run to within 1e-9 — both sides consume identical `(start,
+//! end)` pairs, so any drift means the mirroring in
+//! `cfpd_core::simulation` broke. And enabling telemetry must be
+//! invisible in the golden document: summaries go to stderr, never into
+//! the trace.
+//!
+//! Telemetry state is process-global, so every test here serializes on
+//! one mutex and ends with telemetry disabled and reset.
+
+use std::sync::Mutex;
+
+use cfpd_core::{golden_config, golden_trace, run_simulation};
+use cfpd_telemetry::pop;
+
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+const TOL: f64 = 1e-9;
+const RANKS: usize = 2;
+
+fn with_telemetry_run<R>(f: impl FnOnce(&cfpd_core::SimulationResult) -> R) -> R {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cfpd_telemetry::set_enabled(true);
+    cfpd_telemetry::reset();
+    let r = run_simulation(&golden_config(), RANKS, 1, false);
+    cfpd_telemetry::set_enabled(false);
+    let out = f(&r);
+    cfpd_telemetry::reset();
+    out
+}
+
+#[test]
+fn pop_rollup_agrees_with_trace_stats_to_1e_9() {
+    with_telemetry_run(|r| {
+        let report = pop::report().expect("telemetry observed at least one phase");
+        assert_eq!(report.ranks, RANKS);
+        assert_eq!(report.dropped, 0, "no span may fall off the rank table");
+
+        let ts = cfpd_trace::trace_stats(&r.trace);
+        let mut useful = vec![0.0f64; r.trace.num_ranks.max(1)];
+        for e in &r.trace.events {
+            if e.phase != cfpd_trace::Phase::MpiComm {
+                useful[e.rank] += e.duration();
+            }
+        }
+        let lb = cfpd_trace::load_balance(&useful);
+        let max_useful = useful.iter().cloned().fold(0.0f64, f64::max);
+        let comm_e = if ts.wall_time > 0.0 && max_useful > 0.0 {
+            max_useful / ts.wall_time
+        } else {
+            1.0
+        };
+
+        assert!(
+            (report.wall_time - ts.wall_time).abs() <= TOL,
+            "wall time: telemetry {} vs trace {}",
+            report.wall_time,
+            ts.wall_time
+        );
+        assert!(
+            (report.useful_time - ts.useful_time).abs() <= TOL,
+            "useful time: telemetry {} vs trace {}",
+            report.useful_time,
+            ts.useful_time
+        );
+        assert!(
+            (report.mpi_time - ts.mpi_time).abs() <= TOL,
+            "mpi time: telemetry {} vs trace {}",
+            report.mpi_time,
+            ts.mpi_time
+        );
+        assert!(
+            (report.parallel_efficiency - ts.parallel_efficiency).abs() <= TOL,
+            "parallel efficiency: telemetry {} vs trace {}",
+            report.parallel_efficiency,
+            ts.parallel_efficiency
+        );
+        assert!(
+            (report.load_balance - lb).abs() <= TOL,
+            "load balance: telemetry {} vs trace {}",
+            report.load_balance,
+            lb
+        );
+        assert!(
+            (report.comm_efficiency - comm_e).abs() <= TOL,
+            "comm efficiency: telemetry {} vs trace {}",
+            report.comm_efficiency,
+            comm_e
+        );
+        for (rank, (tel, tr)) in report.per_rank_useful.iter().zip(&useful).enumerate() {
+            assert!(
+                (tel - tr).abs() <= TOL,
+                "rank {rank} useful: telemetry {tel} vs trace {tr}"
+            );
+        }
+    });
+}
+
+#[test]
+fn pop_identity_holds_in_the_rollup() {
+    with_telemetry_run(|_| {
+        let report = pop::report().expect("report available");
+        let recomposed = report.load_balance * report.comm_efficiency;
+        assert!(
+            (report.parallel_efficiency - recomposed).abs() <= TOL,
+            "PE {} != LB x CommE {}",
+            report.parallel_efficiency,
+            recomposed
+        );
+        assert!(report.parallel_efficiency > 0.0 && report.parallel_efficiency <= 1.0 + TOL);
+        assert!(report.load_balance > 0.0 && report.load_balance <= 1.0 + TOL);
+    });
+}
+
+#[test]
+fn counters_reflect_the_run_shape() {
+    let cfg = golden_config();
+    with_telemetry_run(|r| {
+        let snap = cfpd_telemetry::snapshot();
+        let counter = |name: &str| -> u64 {
+            snap.counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+        };
+        assert_eq!(counter("core.rank_steps") as usize, RANKS * cfg.steps);
+        assert!(counter("solver.cg_iterations") > 0, "CG ran");
+        assert!(counter("solver.assemblies") > 0, "assembly ran");
+        assert!(counter("solver.spmv_calls") > 0, "spmv ran");
+        assert_eq!(counter("particles.steps") as usize, RANKS * cfg.steps);
+        assert!(counter("mpi.msgs_sent") > 0, "ranks exchanged messages");
+        // Metrics register lazily at first use, so a clean run leaves
+        // the timeout counter absent entirely — absent or zero both
+        // mean "no timeouts".
+        let timeouts = snap
+            .counters
+            .iter()
+            .find(|(n, _)| n == "mpi.timeouts")
+            .map(|(_, v)| *v)
+            .unwrap_or(0);
+        assert_eq!(timeouts, 0, "clean run has no timeouts");
+        // The run result and the counters describe the same universe.
+        let c = r.census;
+        assert!(c.active + c.deposited + c.escaped + c.lost > 0);
+        assert!(snap.pop.is_some(), "snapshot carries the POP rollup");
+    });
+}
+
+#[test]
+fn snapshot_renders_to_both_surfaces() {
+    with_telemetry_run(|_| {
+        let snap = cfpd_telemetry::snapshot();
+        let table = snap.render_table();
+        assert!(table.contains("== telemetry =="));
+        assert!(table.contains("parallel_efficiency"));
+        let json = snap.render_json();
+        for key in [
+            "\"parallel_efficiency\"",
+            "\"load_balance\"",
+            "\"comm_efficiency\"",
+            "\"counters\"",
+            "\"histograms\"",
+        ] {
+            assert!(json.contains(key), "JSON missing {key}: {json}");
+        }
+    });
+}
+
+/// Telemetry must be invisible on stdout: the golden document rendered
+/// with telemetry enabled is byte-identical to the one rendered with it
+/// disabled (summaries are the CLI's job and go to stderr).
+#[test]
+fn enabling_telemetry_keeps_the_golden_document_byte_identical() {
+    let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    cfpd_telemetry::set_enabled(false);
+    cfpd_telemetry::reset();
+    let off = golden_trace(&golden_config(), RANKS);
+    cfpd_telemetry::set_enabled(true);
+    cfpd_telemetry::reset();
+    let on = golden_trace(&golden_config(), RANKS);
+    cfpd_telemetry::set_enabled(false);
+    cfpd_telemetry::reset();
+    assert_eq!(on, off, "telemetry perturbed the golden document");
+}
