@@ -11,9 +11,8 @@
 //! `scripts/verify.sh`.
 
 use std::hint::black_box;
-use std::io::Write;
 
-use cfpd_bench::emit;
+use cfpd_bench::{emit, emit_json, json_rows};
 use cfpd_core::BoundaryConditions;
 use cfpd_mesh::{generate_airway, AirwaySpec, Mesh, Vec3};
 use cfpd_partition::{bandwidth_under_perm, csr_bandwidth, rcm_perm};
@@ -139,31 +138,13 @@ fn write_json(
     body.push_str(&format!(
         "  \"rcm\": {{ \"bandwidth_before\": {bw_before}, \"bandwidth_after\": {bw_after} }},\n"
     ));
-    body.push_str("  \"rows\": [\n");
-    for (i, (name, stats)) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        body.push_str(&format!(
-            "    {{ \"name\": \"{name}\", \"median_ns\": {:.0}, \"iters\": {}, \"elements\": {elements} }}{sep}\n",
-            stats.median * 1e9,
-            stats.samples,
-        ));
-    }
-    body.push_str("  ]\n}\n");
-
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let stem = if quick { "BENCH_hotpath_quick" } else { "BENCH_hotpath" };
-    let path = dir.join(format!("{stem}.json"));
-    let mut f = std::fs::File::create(&path).expect("create json");
-    f.write_all(body.as_bytes()).expect("write json");
-    println!("[written to {}]", path.display());
-
-    if !quick {
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-        let root_path = root.join("BENCH_hotpath.json");
-        std::fs::write(&root_path, body.as_bytes()).expect("write root json");
-        println!("[written to {}]", root_path.display());
-    }
+    let flat: Vec<(String, f64, usize, usize)> = rows
+        .iter()
+        .map(|(name, stats)| (name.clone(), stats.median * 1e9, stats.samples as usize, elements))
+        .collect();
+    body.push_str(&json_rows(&flat, 0));
+    body.push_str("}\n");
+    emit_json("BENCH_hotpath", quick, &body);
 }
 
 fn main() {

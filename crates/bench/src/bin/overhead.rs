@@ -10,8 +10,6 @@
 //! `BENCH_hotpath.json`: `{ name, median_ns, iters, elements }`,
 //! where `median_ns` is per-op and `elements` is ops per sample).
 
-use std::io::Write;
-
 use cfpd_telemetry::pop::PopPhase;
 use cfpd_telemetry::{self as tel, Span};
 use cfpd_testkit::bench::{Bench, BenchConfig, BenchStats};
@@ -100,30 +98,14 @@ fn write_json(rows: &[(String, BenchStats)], ops: usize, quick: bool) {
     body.push_str(&format!(
         "  \"bench\": \"telemetry_overhead\",\n  \"quick\": {quick},\n  \"ops_per_sample\": {ops},\n"
     ));
-    body.push_str("  \"rows\": [\n");
-    for (i, (name, stats)) in rows.iter().enumerate() {
-        let sep = if i + 1 == rows.len() { "" } else { "," };
-        let n = ops_for(name, ops);
-        body.push_str(&format!(
-            "    {{ \"name\": \"{name}\", \"median_ns\": {:.3}, \"iters\": {}, \"elements\": {n} }}{sep}\n",
-            per_op_ns(stats, n),
-            stats.samples,
-        ));
-    }
-    body.push_str("  ]\n}\n");
-
-    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    let stem = if quick { "BENCH_telemetry_overhead_quick" } else { "BENCH_telemetry_overhead" };
-    let path = dir.join(format!("{stem}.json"));
-    let mut f = std::fs::File::create(&path).expect("create json");
-    f.write_all(body.as_bytes()).expect("write json");
-    println!("[written to {}]", path.display());
-
-    if !quick {
-        let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-        let root_path = root.join("BENCH_telemetry_overhead.json");
-        std::fs::write(&root_path, body.as_bytes()).expect("write root json");
-        println!("[written to {}]", root_path.display());
-    }
+    let flat: Vec<(String, f64, usize, usize)> = rows
+        .iter()
+        .map(|(name, stats)| {
+            let n = ops_for(name, ops);
+            (name.clone(), per_op_ns(stats, n), stats.samples as usize, n)
+        })
+        .collect();
+    body.push_str(&cfpd_bench::json_rows(&flat, 3));
+    body.push_str("}\n");
+    cfpd_bench::emit_json("BENCH_telemetry_overhead", quick, &body);
 }

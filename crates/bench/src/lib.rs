@@ -215,6 +215,41 @@ pub fn dlb_figure(
     rows
 }
 
+/// Write a bench JSON document to `results/<stem>[_quick].json` and,
+/// for full (non-quick) runs, a repo-root copy `<stem>.json` — the
+/// placement convention every bench binary shares.
+pub fn emit_json(stem: &str, quick: bool, body: &str) {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let file = if quick { format!("{stem}_quick.json") } else { format!("{stem}.json") };
+    let path = dir.join(file);
+    std::fs::write(&path, body.as_bytes()).expect("write json");
+    println!("[written to {}]", path.display());
+    if !quick {
+        let root_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(format!("{stem}.json"));
+        std::fs::write(&root_path, body.as_bytes()).expect("write root json");
+        println!("[written to {}]", root_path.display());
+    }
+}
+
+/// Render the shared `"rows": [...]` section of the bench JSON schema:
+/// one `{ name, median_ns, iters, elements }` object per row, with
+/// `median_ns` printed to `prec` decimals.
+pub fn json_rows(rows: &[(String, f64, usize, usize)], prec: usize) -> String {
+    let mut body = String::from("  \"rows\": [\n");
+    for (i, (name, median_ns, iters, elements)) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    {{ \"name\": \"{name}\", \"median_ns\": {median_ns:.prec$}, \
+             \"iters\": {iters}, \"elements\": {elements} }}{sep}\n"
+        ));
+    }
+    body.push_str("  ]\n");
+    body
+}
+
 /// Write `content` to `results/<name>.txt` (workspace root) and stdout.
 pub fn emit(name: &str, content: &str) {
     println!("{content}");

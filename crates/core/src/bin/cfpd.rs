@@ -18,14 +18,18 @@
 //! checked-in goldens.
 
 use cfpd_core::{
-    golden_config, golden_trace, measure_workload, run_simulation, run_simulation_fallible,
-    run_simulation_opts, ExecutionMode, RunOptions, SimulationConfig,
+    golden_config, golden_trace, golden_trace_traced, measure_workload, run_simulation,
+    run_simulation_fallible, run_simulation_opts, ExecutionMode, RunOptions, SimulationConfig,
     PhaseCostModel,
 };
 use cfpd_mesh::{generate_airway, AirwaySpec};
 use cfpd_simmpi::FaultConfig;
 use cfpd_solver::AssemblyStrategy;
-use cfpd_trace::render_timeline;
+use cfpd_trace::{
+    critical_path, diff_summaries, export_chrome, export_pcf, export_prv, export_row,
+    export_summary, lost_cycles, render_timeline, Trace,
+};
+use std::path::{Path, PathBuf};
 
 fn main() {
     cfpd_telemetry::init_from_env();
@@ -39,19 +43,185 @@ fn main() {
         "golden" => cmd_golden(&flags),
         "chaos" => cmd_chaos(&flags),
         "report" => cmd_report(&flags),
+        "trace" => cmd_trace(&args),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile|golden|chaos|report> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace> [flags]\n\
                  \n\
                  mesh    --generations N  --vtk FILE\n\
                  run     --ranks N  --threads N  --dlb  --coupled F P\n\
                  \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
                  profile --ranks N  --particles N\n\
-                 golden  --ranks N  --layout opt\n\
-                 chaos   --seed S  --ranks N  --dlb  --storm  --json\n\
-                 report  --ranks N  --json"
+                 golden  --ranks N  --layout opt  --trace DIR\n\
+                 chaos   --seed S  --ranks N  --dlb  --storm  --json  --trace DIR\n\
+                 report  --ranks N  --json  --trace DIR\n\
+                 trace   export --ranks N --dlb --out DIR | analyze [--threads N] [--strategy S] [--dlb] | diff A B"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// Write the full exporter set for a trace into `dir`: Paraver triplet
+/// (`trace.prv`/`.pcf`/`.row`), Chrome `chrome.json` and the canonical
+/// diffable `summary.json`.
+fn write_trace_dir(trace: &Trace, dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    std::fs::write(dir.join("trace.prv"), export_prv(trace))?;
+    std::fs::write(dir.join("trace.pcf"), export_pcf())?;
+    std::fs::write(dir.join("trace.row"), export_row(trace))?;
+    std::fs::write(dir.join("chrome.json"), export_chrome(trace))?;
+    std::fs::write(dir.join("summary.json"), export_summary(trace))?;
+    Ok(())
+}
+
+/// `cfpd trace <export|analyze|diff>` — the Paraver-class trace
+/// pipeline on the canonical golden-config case.
+fn cmd_trace(args: &[String]) {
+    let verb = args.get(1).map(String::as_str).unwrap_or("help");
+    let flags = Flags::parse(&args[2.min(args.len())..]);
+    match verb {
+        "export" => trace_export(&flags),
+        "analyze" => trace_analyze(&flags),
+        "diff" => match (args.get(2), args.get(3)) {
+            (Some(a), Some(b)) => trace_diff(a, b),
+            _ => {
+                eprintln!("usage: cfpd trace diff A B  (trace dirs or summary.json files)");
+                std::process::exit(2);
+            }
+        },
+        _ => {
+            eprintln!(
+                "usage: cfpd trace export  [--ranks N] [--dlb] [--out DIR]\n\
+                 \x20      cfpd trace analyze [--ranks N] [--threads N] [--strategy S] [--dlb]\n\
+                 \x20      cfpd trace diff A B   (trace dirs or summary.json files)"
+            );
+            std::process::exit(if verb == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// Run the canonical case with full tracing and write every export
+/// format, then re-parse the JSON artifacts with the in-repo RFC 8259
+/// parser as a self-check.
+fn trace_export(flags: &Flags) {
+    let ranks = flags.usize_or("--ranks", 2);
+    let dlb = flags.has("--dlb");
+    let out = PathBuf::from(flags.get("--out").unwrap_or("trace_out"));
+    let config = golden_config();
+    let opts = RunOptions { trace: true, dlb, ..Default::default() };
+    let r = run_simulation_opts(&config, ranks, 1, &opts);
+    write_trace_dir(&r.trace, &out).expect("write trace dir");
+    for name in ["chrome.json", "summary.json"] {
+        let text = std::fs::read_to_string(out.join(name)).expect(name);
+        if let Err(e) = cfpd_testkit::parse_json(&text) {
+            eprintln!("{name}: invalid JSON: {e}");
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "wrote {} (ranks={ranks} dlb={}): trace.prv trace.pcf trace.row chrome.json summary.json",
+        out.display(),
+        if dlb { "on" } else { "off" },
+    );
+    println!(
+        "events: {} phase, {} worker, {} messages, {} dlb marks",
+        r.trace.events.len(),
+        r.trace.workers.len(),
+        r.trace.messages.len(),
+        r.trace.dlb.len(),
+    );
+    println!("json artifacts validate against the in-repo RFC 8259 parser");
+}
+
+/// Critical-path and lost-cycles analysis of a freshly traced canonical
+/// run, cross-checked against the online POP rollup of the *same* run.
+/// Exits 1 if the post-hoc efficiencies drift more than 1e-9 from the
+/// online ones.
+fn trace_analyze(flags: &Flags) {
+    let ranks = flags.usize_or("--ranks", 2);
+    let threads = flags.usize_or("--threads", 1);
+    let dlb = flags.has("--dlb");
+    let mut config = golden_config();
+    config.strategy = strategy_of(flags);
+    cfpd_telemetry::set_enabled(true);
+    cfpd_telemetry::reset();
+    let r = run_simulation_opts(
+        &config,
+        ranks,
+        threads,
+        &RunOptions { trace: true, dlb, ..Default::default() },
+    );
+    cfpd_telemetry::set_enabled(false);
+    let snap = cfpd_telemetry::snapshot();
+
+    let cp = critical_path(&r.trace);
+    println!(
+        "critical path: {:.6}s useful over {:.6}s wall ({} segments, ends on rank {})",
+        cp.length,
+        cp.wall,
+        cp.segments.len(),
+        cp.end_rank,
+    );
+    for s in &cp.segments {
+        println!(
+            "  rank {} [{:.6}, {:.6}]  useful {:.6}s",
+            s.rank, s.t_start, s.t_end, s.useful
+        );
+    }
+    let sane = cp.length >= cp.max_rank_useful - 1e-9 && cp.length <= cp.wall + 1e-9;
+    println!(
+        "bounds: max-rank-useful {:.6} <= path <= wall {:.6}  [{}]",
+        cp.max_rank_useful,
+        cp.wall,
+        if sane { "ok" } else { "VIOLATED" },
+    );
+
+    let lc = lost_cycles(&r.trace);
+    print!("{}", lc.render());
+
+    let verdict = match &snap.pop {
+        Some(pop) => {
+            let delta = (pop.parallel_efficiency - lc.parallel_efficiency)
+                .abs()
+                .max((pop.load_balance - lc.load_balance).abs())
+                .max((pop.comm_efficiency - lc.comm_efficiency).abs());
+            println!("pop crosscheck: max |delta| = {delta:.3e} (gate 1e-9)");
+            delta <= 1e-9
+        }
+        None => {
+            println!("pop crosscheck: no online rollup captured");
+            false
+        }
+    };
+    if !(verdict && sane) {
+        println!("VERDICT: DIVERGED");
+        std::process::exit(1);
+    }
+    println!("VERDICT: post-hoc analysis agrees with the online POP rollup");
+}
+
+/// Diff two trace summaries (dirs or `summary.json` paths); exit 0 on
+/// zero structural delta, 1 on mismatch, 2 on unreadable input.
+fn trace_diff(a: &str, b: &str) {
+    let load = |p: &str| -> String {
+        let path = Path::new(p);
+        let path =
+            if path.is_dir() { path.join("summary.json") } else { path.to_path_buf() };
+        std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("{}: {e}", path.display());
+            std::process::exit(2);
+        })
+    };
+    let (sa, sb) = (load(a), load(b));
+    match diff_summaries(&sa, &sb) {
+        Ok(report) => {
+            print!("{}", report.render());
+            std::process::exit(i32::from(!report.is_zero()));
+        }
+        Err(e) => {
+            eprintln!("trace diff: {e}");
+            std::process::exit(2);
         }
     }
 }
@@ -204,7 +374,19 @@ fn cmd_golden(flags: &Flags) {
         }
         None => cfpd_solver::LayoutPlan::from_env(),
     };
-    print!("{}", golden_trace(&config, ranks));
+    match flags.get("--trace") {
+        // Traced run: stdout stays byte-identical to the untraced golden
+        // (tracing never touches the logical log); the structured trace
+        // goes to `DIR` and the note to stderr.
+        Some(dir) => {
+            let dir = PathBuf::from(dir);
+            let (doc, r) = golden_trace_traced(&config, ranks);
+            print!("{doc}");
+            write_trace_dir(&r.trace, &dir).expect("write trace dir");
+            eprintln!("trace: wrote {}", dir.display());
+        }
+        None => print!("{}", golden_trace(&config, ranks)),
+    }
     telemetry_summary_to_stderr();
 }
 
@@ -225,10 +407,14 @@ fn cmd_chaos(flags: &Flags) {
     let ranks = flags.usize_or("--ranks", 2);
     let dlb = flags.has("--dlb");
     let json = flags.has("--json");
+    let trace_dir = flags.get("--trace").map(PathBuf::from);
     let lease = dlb.then(|| std::time::Duration::from_millis(50));
     let config = golden_config();
 
     if flags.has("--storm") {
+        if trace_dir.is_some() {
+            eprintln!("trace: --trace is ignored in storm mode (the run terminates abnormally)");
+        }
         if !json {
             println!("chaos storm: seed {seed}, {ranks} ranks — message loss beyond the redelivery bound");
         }
@@ -271,8 +457,18 @@ fn cmd_chaos(flags: &Flags) {
         );
     }
     let clean = run_simulation(&config, ranks, 1, false);
-    let opts = RunOptions { dlb, lease, fault: Some(FaultConfig::benign(seed)), ..Default::default() };
+    let opts = RunOptions {
+        dlb,
+        lease,
+        fault: Some(FaultConfig::benign(seed)),
+        trace: trace_dir.is_some(),
+        ..Default::default()
+    };
     let faulted = run_simulation_opts(&config, ranks, 1, &opts);
+    if let Some(dir) = &trace_dir {
+        write_trace_dir(&faulted.trace, dir).expect("write trace dir");
+        eprintln!("trace: wrote {}", dir.display());
+    }
 
     use cfpd_simmpi::FaultEventKind as K;
     let count = |pred: fn(&K) -> bool| faulted.faults.iter().filter(|e| pred(&e.kind)).count();
@@ -377,11 +573,21 @@ fn storm_json(seed: u64, ranks: usize, deadlock: bool, fails: &[(usize, String)]
 fn cmd_report(flags: &Flags) {
     let ranks = flags.usize_or("--ranks", 2);
     let config = golden_config();
+    let trace_dir = flags.get("--trace").map(PathBuf::from);
     cfpd_telemetry::set_enabled(true);
     cfpd_telemetry::reset();
-    let r = run_simulation(&config, ranks, 1, false);
+    let r = run_simulation_opts(
+        &config,
+        ranks,
+        1,
+        &RunOptions { trace: trace_dir.is_some(), ..Default::default() },
+    );
     cfpd_telemetry::set_enabled(false);
     let snap = cfpd_telemetry::snapshot();
+    if let Some(dir) = &trace_dir {
+        write_trace_dir(&r.trace, dir).expect("write trace dir");
+        eprintln!("trace: wrote {}", dir.display());
+    }
 
     // Post-hoc analysis of the same run, straight from cfpd-trace.
     let ts = cfpd_trace::trace_stats(&r.trace);

@@ -13,7 +13,9 @@
 
 use crate::checkpoint::Checkpoint;
 use crate::config::SimulationConfig;
-use crate::simulation::{run_simulation, run_simulation_opts, LogicalEvent, RunOptions};
+use crate::simulation::{
+    run_simulation, run_simulation_opts, LogicalEvent, RunOptions, SimulationResult,
+};
 use cfpd_mesh::{generate_airway, AirwaySpec};
 use cfpd_particles::ParticleCensus;
 use std::fmt::Write;
@@ -45,6 +47,25 @@ fn hex(bits: u64) -> String {
 pub fn golden_trace(config: &SimulationConfig, n_ranks: usize) -> String {
     let result = run_simulation(config, n_ranks, 1, false);
     render_golden(config, n_ranks, &result.logical, &result.census)
+}
+
+/// [`golden_trace`] but with the structured wall-clock trace switched
+/// on: returns the golden document (identical to [`golden_trace`] —
+/// tracing never touches the logical event log) plus the full
+/// [`SimulationResult`], whose `trace` carries worker, message and DLB
+/// records ready for export.
+pub fn golden_trace_traced(
+    config: &SimulationConfig,
+    n_ranks: usize,
+) -> (String, SimulationResult) {
+    let result = run_simulation_opts(
+        config,
+        n_ranks,
+        1,
+        &RunOptions { trace: true, ..Default::default() },
+    );
+    let doc = render_golden(config, n_ranks, &result.logical, &result.census);
+    (doc, result)
 }
 
 /// [`golden_trace`] but with the run *split in two*: execute up to step

@@ -26,7 +26,7 @@ pub use cfpd_solver::LayoutPlan;
 pub use config::{ExecutionMode, SimulationConfig};
 pub use flowfield::potential_flow;
 pub use fluid::{BoundaryConditions, FluidSolver, FluidStepReport};
-pub use golden::{golden_config, golden_trace, golden_trace_split};
+pub use golden::{golden_config, golden_trace, golden_trace_split, golden_trace_traced};
 pub use simulation::{
     run_simulation, run_simulation_fallible, run_simulation_opts, LogicalEvent, RunOptions,
     SimulationResult,

@@ -16,12 +16,14 @@ use cfpd_partition::{partition_kway, Graph};
 use cfpd_runtime::ThreadPool;
 use cfpd_simmpi::{
     ChaosHooks, Comm, FaultConfig, FaultEvent, FaultEventKind, FaultPlan, MpiHooks, ReduceOp,
-    Universe,
+    TraceHooks, Universe,
 };
 use cfpd_testkit::digest::{digest_f64s, Digest};
-use cfpd_trace::{phase_breakdown, ChaosKind, Phase, PhaseRow, Trace};
+use cfpd_trace::{
+    carve_states, phase_breakdown, ChaosKind, DlbMarkKind, Phase, PhaseRow, Trace, WorkerState,
+};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Everything beyond the basic `(ranks, threads, dlb)` knobs of a run:
 /// chaos injection, checkpoint capture and restart. The plain
@@ -44,6 +46,12 @@ pub struct RunOptions {
     /// Resume from a previously captured checkpoint instead of injecting
     /// particles at step 0. Synchronous mode only.
     pub restore: Option<Arc<Checkpoint>>,
+    /// Record the full structured trace: per-(rank, worker) state
+    /// events, MPI wait intervals, point-to-point message records and
+    /// DLB transitions, all on one shared run clock. Off by default —
+    /// untraced runs take exactly the pre-existing code paths, so both
+    /// golden documents stay byte-identical.
+    pub trace: bool,
 }
 
 /// Result of a simulation run.
@@ -258,18 +266,36 @@ pub fn run_simulation_fallible(
     let airway = Arc::new(airway);
     let config = Arc::new(config.clone());
 
+    // The shared run clock: every trace record — phase intervals, wait
+    // intervals, message timestamps, DLB events, worker regions — is
+    // measured against this one epoch when tracing, so happens-before
+    // edges are monotone across ranks. Untraced runs keep their
+    // per-rank epochs (the pre-existing behavior).
+    let run_epoch = Instant::now();
+
     // One virtual node: this container is one shared-memory machine, so
     // DLB may lend between any pair of ranks (the cfpd-perfmodel DES
     // models the paper's 2-node topology; here we exercise the real
     // lending machinery).
     let cluster = Arc::new(if opts.dlb {
-        DlbCluster::new_block_with(
-            n_ranks,
-            1,
-            LendPolicy::default(),
-            GrantPolicy::default(),
-            opts.lease,
-        )
+        if opts.trace {
+            DlbCluster::new_block_with_epoch(
+                n_ranks,
+                1,
+                LendPolicy::default(),
+                GrantPolicy::default(),
+                opts.lease,
+                run_epoch,
+            )
+        } else {
+            DlbCluster::new_block_with(
+                n_ranks,
+                1,
+                LendPolicy::default(),
+                GrantPolicy::default(),
+                opts.lease,
+            )
+        }
     } else {
         DlbCluster::disabled(n_ranks, 1)
     });
@@ -278,23 +304,40 @@ pub fn run_simulation_fallible(
         .collect();
     for (r, pool) in pools.iter().enumerate() {
         cluster.register(r, Arc::clone(pool), threads_per_rank.max(1));
+        if opts.trace {
+            pool.worker_trace_start(run_epoch);
+        }
     }
 
-    // The hook chain: chaos (outermost, when a fault plan is given)
-    // wraps DLB. Physics code sees neither.
+    // The hook chain: tracer (outermost, when tracing) wraps chaos
+    // (when a fault plan is given) wraps DLB. Physics code sees none of
+    // them.
     let base: Arc<dyn MpiHooks> = Arc::clone(&cluster) as _;
     let chaos: Option<Arc<ChaosHooks>> = opts
         .fault
         .map(|fc| ChaosHooks::new(n_ranks, FaultPlan::new(fc), Arc::clone(&base)));
-    let hooks: Arc<dyn MpiHooks> = match &chaos {
+    let mid: Arc<dyn MpiHooks> = match &chaos {
         Some(c) => Arc::clone(c) as _,
         None => base,
+    };
+    let tracer: Option<Arc<TraceHooks>> = if opts.trace {
+        Some(Arc::new(TraceHooks::new(n_ranks, run_epoch, Arc::clone(&mid))))
+    } else {
+        None
+    };
+    let hooks: Arc<dyn MpiHooks> = match &tracer {
+        Some(t) => Arc::clone(t) as _,
+        None => mid,
     };
 
     let am = Arc::clone(&airway);
     let cfg = Arc::clone(&config);
     let pools2 = pools.clone();
-    let window = StepWindow { checkpoint_at: opts.checkpoint_at, restore: opts.restore.clone() };
+    let window = StepWindow {
+        checkpoint_at: opts.checkpoint_at,
+        restore: opts.restore.clone(),
+        epoch: if opts.trace { Some(run_epoch) } else { None },
+    };
 
     let results = Universe::run_fallible(n_ranks, hooks, move |comm| {
         rank_main(&cfg, &am, &pools2[comm.rank()], comm, &window)
@@ -334,6 +377,46 @@ pub fn run_simulation_fallible(
         }
     }
 
+    // DLB transitions become first-class trace events (the lend/borrow
+    // arrows of the paper's Fig. 8), so `render_timeline` shows cores
+    // migrating between co-resident ranks.
+    if opts.dlb {
+        use cfpd_dlb::DlbEventKind;
+        for (_, e) in cluster.all_events() {
+            let (kind, cores) = match e.kind {
+                DlbEventKind::Lend { cores } => (DlbMarkKind::Lend, cores),
+                DlbEventKind::Borrow { cores, .. } => (DlbMarkKind::Borrow, cores),
+                DlbEventKind::Reclaim { cores } => (DlbMarkKind::Reclaim, cores),
+                DlbEventKind::Revoke { cores, .. } => (DlbMarkKind::Revoke, cores),
+                DlbEventKind::LeaseExpired { cores } => (DlbMarkKind::LeaseExpired, cores),
+                DlbEventKind::Crashed { cores } => (DlbMarkKind::Crashed, cores),
+            };
+            if e.rank < trace.num_ranks {
+                trace.record_dlb(e.rank, e.t, kind, cores);
+            }
+        }
+    }
+
+    // Assemble the worker-level trace: wait and message records from
+    // the tracer hooks, worker-0 state intervals carved from the phase
+    // timeline around the waits, and worker ≥ 1 Useful intervals from
+    // the pools' region logs. All share `run_epoch`.
+    if let Some(tr) = &tracer {
+        let waits = tr.drain_waits();
+        let carved = carve_states(trace.num_ranks, &trace.events, &waits);
+        trace.workers.extend(carved);
+        for (rank, pool) in pools.iter().enumerate() {
+            for (worker, t0, t1) in pool.worker_trace_drain() {
+                trace.record_worker(rank, worker, WorkerState::Useful, t0, t1);
+            }
+        }
+        for (src, dst, tag, bytes, t_send, t_recv) in tr.drain_msgs() {
+            if src < trace.num_ranks && dst < trace.num_ranks {
+                trace.record_msg(src, dst, tag, bytes, t_send, t_recv);
+            }
+        }
+    }
+
     let breakdown = phase_breakdown(&trace);
     Ok(SimulationResult {
         trace,
@@ -352,6 +435,9 @@ pub fn run_simulation_fallible(
 struct StepWindow {
     checkpoint_at: Option<usize>,
     restore: Option<Arc<Checkpoint>>,
+    /// Shared run clock for traced runs; `None` keeps the pre-existing
+    /// per-rank epoch (and byte-identical untraced output).
+    epoch: Option<Instant>,
 }
 
 /// Per-rank result; only rank 0's value is meaningful (others return
@@ -376,7 +462,7 @@ fn rank_main(
     match config.mode {
         ExecutionMode::Synchronous => sync_rank(config, airway, pool, comm, window),
         ExecutionMode::Coupled { fluid, particles } => {
-            coupled_rank(config, airway, pool, comm, fluid, particles)
+            coupled_rank(config, airway, pool, comm, fluid, particles, window.epoch)
         }
     }
 }
@@ -491,7 +577,7 @@ fn sync_rank(
     let mut trace = Trace::new(n);
     let mut logical = Vec::new();
     let mut captured: Option<RankCheckpoint> = None;
-    let epoch = std::time::Instant::now();
+    let epoch = window.epoch.unwrap_or_else(std::time::Instant::now);
     let t = |epoch: std::time::Instant| epoch.elapsed().as_secs_f64();
     let capture = |fs: &FluidSolver, mine: &ParticleSet, trace: &mut Trace, now: f64| {
         trace.record_chaos(rank, now, ChaosKind::CheckpointWritten);
@@ -578,6 +664,7 @@ fn coupled_rank(
     comm: Comm,
     f: usize,
     p: usize,
+    shared_epoch: Option<Instant>,
 ) -> RankOut {
     assert_eq!(comm.size(), f + p, "coupled mode rank count");
     let mesh = &airway.mesh;
@@ -586,7 +673,7 @@ fn coupled_rank(
     let group = comm.split(usize::from(!is_fluid), world_rank);
     let mut trace = Trace::new(comm.size());
     let mut logical = Vec::new();
-    let epoch = std::time::Instant::now();
+    let epoch = shared_epoch.unwrap_or_else(std::time::Instant::now);
     let t = |epoch: std::time::Instant| epoch.elapsed().as_secs_f64();
     let census;
 
@@ -979,5 +1066,70 @@ mod tests {
         // With blocking allreduces every step, lends must have happened.
         assert!(stats.lends > 0, "{stats:?}");
         assert_eq!(stats.lends, stats.reclaims);
+    }
+
+    #[test]
+    fn traced_run_captures_workers_and_messages() {
+        let cfg = tiny_config();
+        let r = run_simulation_opts(
+            &cfg,
+            2,
+            1,
+            &RunOptions { trace: true, ..Default::default() },
+        );
+        let tr = &r.trace;
+        assert!(!tr.workers.is_empty(), "traced run must record worker events");
+        assert!(!tr.messages.is_empty(), "collectives ride on p2p sends");
+        // Worker-0 timelines exist on every rank and carry MPI waits
+        // (every step ends in a blocking allreduce).
+        for rank in 0..2 {
+            assert!(tr.workers.iter().any(|w| w.rank == rank && w.worker == 0));
+        }
+        assert!(tr.workers.iter().any(|w| w.state == WorkerState::MpiWait));
+        // All records land inside [0, total_time] and never overlap
+        // within one (rank, worker) lane.
+        let wall = tr.total_time();
+        let mut lanes = tr.workers.clone();
+        lanes.sort_by(|a, b| {
+            (a.rank, a.worker)
+                .cmp(&(b.rank, b.worker))
+                .then(a.t_start.total_cmp(&b.t_start))
+        });
+        for pair in lanes.windows(2) {
+            let (a, b) = (&pair[0], &pair[1]);
+            assert!(a.t_start >= 0.0 && a.t_end <= wall + 1e-9, "{a:?}");
+            if (a.rank, a.worker) == (b.rank, b.worker) {
+                assert!(a.t_end <= b.t_start + 1e-9, "overlap: {a:?} vs {b:?}");
+            }
+        }
+        // Message records are causally sane and in-range.
+        for m in &tr.messages {
+            assert!(m.src < 2 && m.dst < 2);
+            assert!(m.t_send <= m.t_recv + 1e-9, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn traced_dlb_run_records_dlb_marks() {
+        let cfg = tiny_config();
+        let r = run_simulation_opts(
+            &cfg,
+            2,
+            2,
+            &RunOptions { trace: true, dlb: true, ..Default::default() },
+        );
+        assert!(!r.trace.dlb.is_empty(), "DLB run must surface lend/reclaim marks");
+        use cfpd_trace::DlbMarkKind;
+        assert!(r.trace.dlb.iter().any(|m| m.kind == DlbMarkKind::Lend));
+        assert!(r.trace.dlb.iter().any(|m| m.kind == DlbMarkKind::Reclaim));
+    }
+
+    #[test]
+    fn untraced_run_stays_clean() {
+        let cfg = tiny_config();
+        let r = run_simulation(&cfg, 2, 1, false);
+        assert!(r.trace.workers.is_empty());
+        assert!(r.trace.messages.is_empty());
+        assert!(r.trace.dlb.is_empty());
     }
 }

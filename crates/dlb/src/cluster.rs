@@ -45,12 +45,33 @@ impl DlbCluster {
         grant: GrantPolicy,
         lease: Option<Duration>,
     ) -> DlbCluster {
+        Self::new_block_with_epoch(
+            num_ranks,
+            num_nodes,
+            lend,
+            grant,
+            lease,
+            std::time::Instant::now(),
+        )
+    }
+
+    /// Like [`DlbCluster::new_block_with`] but timestamping DLB events
+    /// against an explicit epoch, so traced runs put lend/reclaim marks
+    /// on the same clock as phase and message records.
+    pub fn new_block_with_epoch(
+        num_ranks: usize,
+        num_nodes: usize,
+        lend: LendPolicy,
+        grant: GrantPolicy,
+        lease: Option<Duration>,
+        epoch: std::time::Instant,
+    ) -> DlbCluster {
         assert!(num_nodes >= 1);
         let per = num_ranks.div_ceil(num_nodes);
         let node_of_rank = (0..num_ranks).map(|r| r / per).collect();
         DlbCluster {
             nodes: (0..num_nodes)
-                .map(|_| DlbNode::with_lease(lend, grant, lease))
+                .map(|_| DlbNode::with_lease_at(lend, grant, lease, epoch))
                 .collect(),
             node_of_rank,
             enabled: true,

@@ -136,11 +136,23 @@ impl DlbNode {
         grant: GrantPolicy,
         lease: Option<Duration>,
     ) -> Arc<DlbNode> {
+        Self::with_lease_at(lend, grant, lease, Instant::now())
+    }
+
+    /// Like [`DlbNode::with_lease`] but with an explicit event-timestamp
+    /// epoch — traced runs share one clock between DLB events, phase
+    /// records and message records.
+    pub fn with_lease_at(
+        lend: LendPolicy,
+        grant: GrantPolicy,
+        lease: Option<Duration>,
+        epoch: Instant,
+    ) -> Arc<DlbNode> {
         Arc::new(DlbNode {
             state: Mutex::new(NodeState { ranks: BTreeMap::new(), free_lent: 0 }),
             events: Mutex::new(Vec::new()),
             stats: Mutex::new(DlbStats::default()),
-            epoch: Instant::now(),
+            epoch,
             lend_policy: lend,
             grant_policy: grant,
             lease,

@@ -16,6 +16,7 @@
 use cfpd_testkit::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Type-erased pointer to the region body (`&dyn Fn(usize)` transmuted
 /// to `'static`; validity is guaranteed because `run_region` does not
@@ -37,6 +38,14 @@ struct PoolState {
     finished: usize,
 }
 
+/// Worker-side trace recording (the per-thread Useful intervals that
+/// feed the per-(rank, worker) timeline).
+struct WorkerTrace {
+    epoch: Instant,
+    /// `(worker_id, t_start, t_end)` of each region execution.
+    log: Vec<(usize, f64, f64)>,
+}
+
 struct Shared {
     state: Mutex<PoolState>,
     work_cv: Condvar,
@@ -46,6 +55,10 @@ struct Shared {
     /// equivalent that DLB drives.
     active: AtomicUsize,
     shutdown: AtomicBool,
+    /// Fast gate for the tracing branch in `worker_loop` (the mutexed
+    /// trace is only touched when set).
+    trace_on: AtomicBool,
+    trace: Mutex<Option<WorkerTrace>>,
 }
 
 /// Fork-join worker pool with a dynamically adjustable executor count.
@@ -72,6 +85,8 @@ impl ThreadPool {
             done_cv: Condvar::new(),
             active: AtomicUsize::new(max_workers),
             shutdown: AtomicBool::new(false),
+            trace_on: AtomicBool::new(false),
+            trace: Mutex::new(None),
         });
         let mut handles = Vec::with_capacity(max_workers.saturating_sub(1));
         for id in 1..max_workers {
@@ -104,6 +119,29 @@ impl ThreadPool {
     pub fn set_active(&self, n: usize) {
         let n = n.clamp(1, self.max_workers);
         self.shared.active.store(n, Ordering::Relaxed);
+    }
+
+    /// Start recording per-worker region intervals, timestamped in
+    /// seconds since `epoch` (share the simulation's run epoch so
+    /// worker events line up with phase and message records). Clears
+    /// any previous log.
+    pub fn worker_trace_start(&self, epoch: Instant) {
+        *self.shared.trace.lock() = Some(WorkerTrace { epoch, log: Vec::new() });
+        self.shared.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Stop recording and return the accumulated `(worker, t_start,
+    /// t_end)` intervals, sorted by (worker, t_start). Worker 0 (the
+    /// caller thread) is not recorded here — its timeline is carved
+    /// from the phase/wait records instead.
+    pub fn worker_trace_drain(&self) -> Vec<(usize, f64, f64)> {
+        self.shared.trace_on.store(false, Ordering::Release);
+        let mut log = match self.shared.trace.lock().take() {
+            Some(t) => t.log,
+            None => Vec::new(),
+        };
+        log.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.total_cmp(&b.1)));
+        log
     }
 
     /// Execute one parallel region: `body(executor_id)` runs once on
@@ -168,7 +206,20 @@ fn worker_loop(shared: Arc<Shared>, id: usize) {
             // SAFETY: see run_region — the body is alive until we report
             // completion below.
             let body: &(dyn Fn(usize) + Sync) = unsafe { &*ptr };
+            let tracing = shared.trace_on.load(Ordering::Acquire);
+            let t0 = if tracing {
+                shared.trace.lock().as_ref().map(|t| t.epoch.elapsed().as_secs_f64())
+            } else {
+                None
+            };
             body(id);
+            if let Some(t0) = t0 {
+                let mut tr = shared.trace.lock();
+                if let Some(t) = tr.as_mut() {
+                    let t1 = t.epoch.elapsed().as_secs_f64();
+                    t.log.push((id, t0, t1));
+                }
+            }
             let mut st = shared.state.lock();
             st.finished += 1;
             if st.finished == st.participants - 1 {
@@ -287,5 +338,34 @@ mod tests {
         let pool = ThreadPool::new(8);
         pool.run_region(|_| {});
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn worker_trace_records_regions_for_workers_only() {
+        let pool = ThreadPool::new(4);
+        let epoch = Instant::now();
+        pool.worker_trace_start(epoch);
+        pool.run_region(|_| {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        });
+        pool.run_region(|_| {});
+        let log = pool.worker_trace_drain();
+        // Workers 1..3 ran two regions each; worker 0 is not recorded.
+        assert_eq!(log.len(), 6, "log: {log:?}");
+        assert!(log.iter().all(|&(w, a, b)| (1..4).contains(&w) && b >= a && a >= 0.0));
+        // Sorted by (worker, t_start).
+        for w in log.windows(2) {
+            assert!((w[0].0, w[0].1) <= (w[1].0, w[1].1));
+        }
+        // Drained and off: further regions record nothing.
+        pool.run_region(|_| {});
+        assert!(pool.worker_trace_drain().is_empty());
+    }
+
+    #[test]
+    fn worker_trace_off_by_default() {
+        let pool = ThreadPool::new(3);
+        pool.run_region(|_| {});
+        assert!(pool.worker_trace_drain().is_empty());
     }
 }

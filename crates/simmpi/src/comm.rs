@@ -391,6 +391,14 @@ impl Comm {
                     "mpi.bytes_received",
                     std::mem::size_of::<T>() as u64
                 );
+                self.hooks.on_msg_recv(
+                    self.state.comm_id,
+                    self.state.global_ranks[src],
+                    self.global_rank,
+                    tag,
+                    msg.seq,
+                    std::mem::size_of::<T>(),
+                );
                 if blocked {
                     if !self.helper {
                         self.diag.end_wait(self.global_rank);
@@ -490,7 +498,8 @@ impl Comm {
     /// Non-blocking probe-and-consume: the next in-sequence message of
     /// the stream if it has already arrived, `None` otherwise (including
     /// when only out-of-sequence successors are here). Never blocks,
-    /// never fires hooks.
+    /// never fires block hooks (it still reports the delivery via
+    /// [`MpiHooks::on_msg_recv`] so traces see every message match).
     pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<T> {
         assert!(src < self.size, "recv from rank {src} of {}", self.size);
         let mut queue = self.state.inboxes[self.rank].state.lock();
@@ -498,6 +507,14 @@ impl Comm {
         let msg = queue.take(pos);
         drop(queue);
         self.diag.bump_progress();
+        self.hooks.on_msg_recv(
+            self.state.comm_id,
+            self.state.global_ranks[src],
+            self.global_rank,
+            tag,
+            msg.seq,
+            std::mem::size_of::<T>(),
+        );
         Some(*msg.payload.downcast::<T>().unwrap_or_else(|_| {
             panic!("rank {}: recv type mismatch from {src} tag {tag}", self.rank)
         }))

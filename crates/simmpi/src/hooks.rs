@@ -44,6 +44,21 @@ pub trait MpiHooks: Send + Sync {
     ) -> crate::fault::FaultAction {
         crate::fault::FaultAction::Deliver
     }
+    /// Message `seq` on edge `src -> dest` (global ranks) of
+    /// communicator `comm_id` was taken out of the destination inbox
+    /// (`bytes` payload bytes). Fires on the receiving rank's thread at
+    /// match time — the `t_recv` end of a happens-before edge; the
+    /// trace layer pairs it with the `on_send` it saw earlier.
+    fn on_msg_recv(
+        &self,
+        _comm_id: u64,
+        _src: usize,
+        _dest: usize,
+        _tag: u64,
+        _seq: u64,
+        _bytes: usize,
+    ) {
+    }
     /// A timeout-carrying wait on rank `rank` expired without a match.
     fn on_timeout(&self, _rank: usize, _kind: BlockKind) {}
     /// Rank `rank` was declared dead (fail-silent crash).

@@ -23,6 +23,9 @@
 //! * [`digest`] — FNV-1a digests over raw `f64` bit patterns, the
 //!   primitive of the golden-trace regression suite (bit-identical
 //!   physics gate).
+//! * [`json`] — a strict RFC 8259 parser, the read-side counterpart of
+//!   `cfpd-telemetry`'s `JsonWriter`, so tests and `verify.sh` validate
+//!   emitted Chrome-trace / report JSON structurally.
 //!
 //! External registry dependencies are banned workspace-wide; CI
 //! (`scripts/verify.sh`) builds with `--offline` and fails on any
@@ -30,11 +33,13 @@
 
 pub mod bench;
 pub mod digest;
+pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod sync;
 
 pub use bench::{Bench, BenchConfig, BenchStats};
 pub use digest::{digest_bytes, digest_f64s, Digest};
+pub use json::{parse as parse_json, JsonError, JsonValue};
 pub use prop::{check, f64_range, map, usize_range, vec_of, Gen, PropConfig};
 pub use rng::{Rng, SplitMix64};

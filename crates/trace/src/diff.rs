@@ -1,0 +1,260 @@
+//! Deterministic trace diff: compare two run summaries phase-by-phase.
+//!
+//! The inputs are `summary.json` documents produced by
+//! [`crate::export::export_summary`], parsed with `cfpd-testkit`'s
+//! RFC 8259 parser. The zero-delta verdict compares only the
+//! *protocol-deterministic* aggregates — rank count, per-(rank, phase)
+//! interval counts, and the per-(src, dst, tag) message multiset
+//! (count + bytes). Wall-clock time aggregates differ between any two
+//! real runs and are reported as informational deltas only; two runs of
+//! the same seed must therefore diff to zero, which `scripts/verify.sh`
+//! enforces in CI.
+
+use cfpd_testkit::{parse_json, JsonValue};
+
+/// One structural mismatch between the two summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffMismatch {
+    /// What differs (e.g. `rank 0 phase Solver1 count`).
+    pub what: String,
+    pub a: String,
+    pub b: String,
+}
+
+/// One informational per-phase time delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDelta {
+    pub rank: u64,
+    pub phase: String,
+    pub time_a: f64,
+    pub time_b: f64,
+}
+
+/// Result of diffing two summaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffReport {
+    /// Structural mismatches; empty ⇔ zero delta.
+    pub mismatches: Vec<DiffMismatch>,
+    /// Per-(rank, phase) time deltas (informational, timing-dependent).
+    pub phase_times: Vec<PhaseDelta>,
+    pub wall_a: f64,
+    pub wall_b: f64,
+}
+
+impl DiffReport {
+    /// True when the runs are structurally identical (same ranks, same
+    /// per-phase interval counts, same message multiset).
+    pub fn is_zero(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    /// Human-readable rendering for `cfpd trace diff`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if self.is_zero() {
+            out.push_str("structural delta: ZERO (ranks, phase counts, messages identical)\n");
+        } else {
+            out.push_str(&format!("structural delta: {} mismatch(es)\n", self.mismatches.len()));
+            for m in &self.mismatches {
+                out.push_str(&format!("  {}: {} vs {}\n", m.what, m.a, m.b));
+            }
+        }
+        out.push_str(&format!(
+            "wall time: {:.6}s vs {:.6}s (informational)\n",
+            self.wall_a, self.wall_b
+        ));
+        if !self.phase_times.is_empty() {
+            out.push_str("per-phase time deltas (informational):\n");
+            out.push_str("rank  phase             A           B           delta\n");
+            for d in &self.phase_times {
+                out.push_str(&format!(
+                    "{:>4}  {:<16}  {:<10.6}  {:<10.6}  {:+.6}\n",
+                    d.rank,
+                    d.phase,
+                    d.time_a,
+                    d.time_b,
+                    d.time_b - d.time_a
+                ));
+            }
+        }
+        out
+    }
+}
+
+fn f64_field(v: &JsonValue, key: &str) -> f64 {
+    v.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0)
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> u64 {
+    v.get(key).and_then(JsonValue::as_u64).unwrap_or(0)
+}
+
+fn str_field<'a>(v: &'a JsonValue, key: &str) -> &'a str {
+    v.get(key).and_then(JsonValue::as_str).unwrap_or("")
+}
+
+/// Diff two `summary.json` documents. Errors on unparseable input.
+pub fn diff_summaries(a: &str, b: &str) -> Result<DiffReport, String> {
+    let va = parse_json(a).map_err(|e| format!("first summary: {e}"))?;
+    let vb = parse_json(b).map_err(|e| format!("second summary: {e}"))?;
+    for v in [&va, &vb] {
+        if !v.is_object() || v.get("phases").is_none() || v.get("messages").is_none() {
+            return Err("not a cfpd trace summary (missing phases/messages)".into());
+        }
+    }
+
+    let mut mismatches = Vec::new();
+    let (ra, rb) = (u64_field(&va, "ranks"), u64_field(&vb, "ranks"));
+    if ra != rb {
+        mismatches.push(DiffMismatch {
+            what: "ranks".into(),
+            a: ra.to_string(),
+            b: rb.to_string(),
+        });
+    }
+
+    // Per-(rank, phase): counts are structural, times informational.
+    type PhaseRow = (u64, String, u64, f64);
+    let rows = |v: &JsonValue| -> Vec<PhaseRow> {
+        v.get("phases")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|p| {
+                (
+                    u64_field(p, "rank"),
+                    str_field(p, "phase").to_string(),
+                    u64_field(p, "count"),
+                    f64_field(p, "time"),
+                )
+            })
+            .collect()
+    };
+    let (pa, pb) = (rows(&va), rows(&vb));
+    let mut phase_times = Vec::new();
+    let mut keys: Vec<(u64, String)> = pa
+        .iter()
+        .chain(pb.iter())
+        .map(|(r, p, _, _)| (*r, p.clone()))
+        .collect();
+    keys.sort();
+    keys.dedup();
+    for (rank, phase) in keys {
+        let find = |rows: &[PhaseRow]| -> Option<(u64, f64)> {
+            rows.iter()
+                .find(|(r, p, _, _)| *r == rank && *p == phase)
+                .map(|(_, _, c, t)| (*c, *t))
+        };
+        let (ca, ta) = find(&pa).unwrap_or((0, 0.0));
+        let (cb, tb) = find(&pb).unwrap_or((0, 0.0));
+        if ca != cb {
+            mismatches.push(DiffMismatch {
+                what: format!("rank {rank} phase {phase} count"),
+                a: ca.to_string(),
+                b: cb.to_string(),
+            });
+        }
+        phase_times.push(PhaseDelta { rank, phase, time_a: ta, time_b: tb });
+    }
+
+    // Message multiset per (src, dst, tag): count and bytes are both
+    // structural.
+    type MsgRow = (u64, u64, String, u64, u64);
+    let msgs = |v: &JsonValue| -> Vec<MsgRow> {
+        v.get("messages")
+            .and_then(JsonValue::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .map(|m| {
+                (
+                    u64_field(m, "src"),
+                    u64_field(m, "dst"),
+                    str_field(m, "tag").to_string(),
+                    u64_field(m, "count"),
+                    u64_field(m, "bytes"),
+                )
+            })
+            .collect()
+    };
+    let (ma, mb) = (msgs(&va), msgs(&vb));
+    let mut mkeys: Vec<(u64, u64, String)> = ma
+        .iter()
+        .chain(mb.iter())
+        .map(|(s, d, t, _, _)| (*s, *d, t.clone()))
+        .collect();
+    mkeys.sort();
+    mkeys.dedup();
+    for (src, dst, tag) in mkeys {
+        let find = |rows: &[MsgRow]| -> (u64, u64) {
+            rows.iter()
+                .find(|(s, d, t, _, _)| *s == src && *d == dst && *t == tag)
+                .map(|(_, _, _, c, b)| (*c, *b))
+                .unwrap_or((0, 0))
+        };
+        let (ca, ba) = find(&ma);
+        let (cb, bb) = find(&mb);
+        if (ca, ba) != (cb, bb) {
+            mismatches.push(DiffMismatch {
+                what: format!("message {src}->{dst} tag {tag} (count,bytes)"),
+                a: format!("({ca},{ba})"),
+                b: format!("({cb},{bb})"),
+            });
+        }
+    }
+
+    Ok(DiffReport {
+        mismatches,
+        phase_times,
+        wall_a: f64_field(&va, "wall_time"),
+        wall_b: f64_field(&vb, "wall_time"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{Phase, Trace};
+    use crate::export::export_summary;
+
+    fn summary(scale: f64, extra_msg: bool) -> String {
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Assembly, 0.0, 1.0 * scale);
+        t.record(1, Phase::Assembly, 0.0, 0.5 * scale);
+        t.record_msg(0, 1, 9, 16, 0.1, 0.2);
+        if extra_msg {
+            t.record_msg(1, 0, 9, 16, 0.1, 0.2);
+        }
+        export_summary(&t)
+    }
+
+    #[test]
+    fn identical_structure_diffs_to_zero_despite_time_skew() {
+        // Same counts/messages, different wall-clock times → zero.
+        let d = diff_summaries(&summary(1.0, false), &summary(1.7, false)).unwrap();
+        assert!(d.is_zero(), "mismatches: {:?}", d.mismatches);
+        assert!(d.render().contains("ZERO"));
+        assert!((d.wall_b - 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn structural_changes_are_detected() {
+        let d = diff_summaries(&summary(1.0, false), &summary(1.0, true)).unwrap();
+        assert!(!d.is_zero());
+        assert!(d.mismatches.iter().any(|m| m.what.contains("message 1->0")));
+    }
+
+    #[test]
+    fn rank_count_mismatch_is_structural() {
+        let mut t = Trace::new(3);
+        t.record(0, Phase::Assembly, 0.0, 1.0);
+        let d = diff_summaries(&summary(1.0, false), &export_summary(&t)).unwrap();
+        assert!(d.mismatches.iter().any(|m| m.what == "ranks"));
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(diff_summaries("{", "{}").is_err());
+        assert!(diff_summaries("{}", "{}").is_err());
+        assert!(diff_summaries("[1,2]", "[1,2]").is_err());
+    }
+}

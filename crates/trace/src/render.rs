@@ -30,8 +30,13 @@ pub fn render_timeline_ranks(trace: &Trace, width: usize, ranks: &[usize]) -> St
     } else {
         " !=fault T=timeout C=checkpoint"
     };
+    let dlb_legend = if trace.dlb.is_empty() {
+        ""
+    } else {
+        " L=lend G=borrow R=reclaim V=revoke E=lease-exp X=crash"
+    };
     out.push_str(&format!(
-        "time -> total {:.4}s, {} ranks ({} shown), legend: A=assembly 1=solver1 2=solver2 S=sgs P=particles .=mpi{chaos_legend}\n",
+        "time -> total {:.4}s, {} ranks ({} shown), legend: A=assembly 1=solver1 2=solver2 S=sgs P=particles .=mpi{chaos_legend}{dlb_legend}\n",
         total,
         trace.num_ranks,
         ranks.len()
@@ -47,6 +52,16 @@ pub fn render_timeline_ranks(trace: &Trace, width: usize, ranks: &[usize]) -> St
             for cell in row.iter_mut().take(c1).skip(c0.min(width)) {
                 *cell = e.phase.tag();
             }
+        }
+        // DLB transitions overwrite the phase tag at their instant so
+        // the timeline shows cores migrating between co-resident ranks
+        // (the lend/borrow arrows of the paper's Fig. 8).
+        for m in &trace.dlb {
+            if m.rank != rank {
+                continue;
+            }
+            let col = (((m.t / total) * width as f64) as usize).min(width - 1);
+            row[col] = m.kind.tag();
         }
         // Chaos markers overwrite the phase tag at their instant so the
         // timeline shows *where* the fault plan struck.
@@ -132,5 +147,22 @@ mod tests {
         t.record(0, Phase::Sgs, 0.0, 1.0);
         let s = render_timeline(&t, 40, 10);
         assert!(!s.contains("=fault"), "no chaos legend when quiet: {s}");
+        assert!(!s.contains("=lend"), "no dlb legend when quiet: {s}");
+    }
+
+    #[test]
+    fn dlb_marks_overlay_the_timeline() {
+        use crate::event::DlbMarkKind;
+        let mut t = Trace::new(2);
+        t.record(0, Phase::Assembly, 0.0, 10.0);
+        t.record(1, Phase::Assembly, 0.0, 10.0);
+        t.record_dlb(0, 2.0, DlbMarkKind::Lend, 2);
+        t.record_dlb(1, 5.0, DlbMarkKind::Borrow, 2);
+        t.record_dlb(0, 8.0, DlbMarkKind::Reclaim, 2);
+        let s = render_timeline(&t, 40, 10);
+        assert!(s.contains("L=lend"), "legend extended: {s}");
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains('L') && lines[1].contains('R'), "{}", lines[1]);
+        assert!(lines[2].contains('G'), "{}", lines[2]);
     }
 }

@@ -22,8 +22,13 @@ pub struct TraceStats {
 }
 
 /// Compute the efficiency summary.
+///
+/// The wall clock is the end of the last *phase* interval — worker-level
+/// events (which include the trailing barrier wait when tracing is on)
+/// are deliberately excluded so these numbers match the online POP
+/// rollup, which is fed the same phase intervals.
 pub fn trace_stats(trace: &Trace) -> TraceStats {
-    let wall = trace.total_time();
+    let wall = trace.events.iter().map(|e| e.t_end).fold(0.0, f64::max);
     let n = trace.num_ranks.max(1);
     let mut useful = vec![0.0f64; n];
     let mut mpi = 0.0;

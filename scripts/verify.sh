@@ -19,6 +19,12 @@
 #     must complete and emit its JSON,
 #   * a bench smoke: the hotpath benchmark's --quick run must complete
 #     and emit its JSON,
+#   * a trace-pipeline smoke: `cfpd trace export` writes Paraver +
+#     Chrome + summary artifacts that validate against the in-repo
+#     RFC 8259 parser, `cfpd trace diff` of two identical-seed traced
+#     runs reports a zero structural delta (exit 0), `cfpd trace
+#     analyze` agrees with the online POP rollup, and `cfpd golden
+#     --trace` keeps stdout byte-identical to the checked-in golden,
 #   * a workspace-wide warning gate: every crate and every target must
 #     compile without a single compiler warning.
 set -euo pipefail
@@ -71,6 +77,27 @@ test -s results/BENCH_telemetry_overhead_quick.json \
     || { echo "FAIL: BENCH_telemetry_overhead_quick.json missing" >&2; exit 1; }
 python3 -m json.tool results/BENCH_telemetry_overhead_quick.json >/dev/null \
     || { echo "FAIL: telemetry overhead JSON invalid" >&2; exit 1; }
+
+echo "== trace pipeline smoke (export + diff + analyze + golden --trace) =="
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+timeout 300 "$cfpd" trace export --out "$tracedir/a" >/dev/null
+timeout 300 "$cfpd" trace export --out "$tracedir/b" >/dev/null
+for f in trace.prv trace.pcf trace.row chrome.json summary.json; do
+    test -s "$tracedir/a/$f" || { echo "FAIL: trace export missing $f" >&2; exit 1; }
+done
+python3 -m json.tool "$tracedir/a/chrome.json" >/dev/null \
+    || { echo "FAIL: chrome.json invalid" >&2; exit 1; }
+python3 -m json.tool "$tracedir/a/summary.json" >/dev/null \
+    || { echo "FAIL: summary.json invalid" >&2; exit 1; }
+timeout 300 "$cfpd" trace diff "$tracedir/a" "$tracedir/b" >/dev/null \
+    || { echo "FAIL: identical-seed trace diff was not a zero delta" >&2; exit 1; }
+timeout 300 "$cfpd" trace analyze >/dev/null \
+    || { echo "FAIL: trace analyze diverged from the online POP rollup" >&2; exit 1; }
+timeout 300 "$cfpd" golden --ranks 2 --trace "$tracedir/g" 2>/dev/null \
+    | diff -q - tests/golden/sync_small.golden \
+    || { echo "FAIL: --trace perturbed the golden document" >&2; exit 1; }
+test -s "$tracedir/g/trace.prv" || { echo "FAIL: golden --trace wrote no trace" >&2; exit 1; }
 
 echo "== workspace warning gate =="
 find crates -name '*.rs' -path '*/src/*' -exec touch {} +
