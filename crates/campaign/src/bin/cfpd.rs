@@ -1,14 +1,15 @@
 //! `cfpd` — command-line front end of the reproduction.
 //!
 //! ```text
-//! cfpd mesh    [--generations N] [--vtk FILE]      mesh stats / export
-//! cfpd run     [--ranks N] [--threads N] [--dlb] [--coupled F P]
-//!              [--particles N] [--steps N] [--strategy S]
-//! cfpd profile [--ranks N] [--particles N]         Table-1-style profile
-//! cfpd golden  [--ranks N] [--layout opt]          deterministic trace
-//! cfpd chaos   [--seed S] [--ranks N] [--dlb] [--storm] [--json]
-//!                                                  seeded fault-injection run
-//! cfpd report  [--ranks N] [--json]                telemetry + POP rollup
+//! cfpd mesh     [--generations N] [--vtk FILE]      mesh stats / export
+//! cfpd run      [--ranks N] [--threads N] [--dlb] [--coupled F P]
+//!               [--particles N] [--steps N] [--strategy S]
+//! cfpd profile  [--ranks N] [--particles N]         Table-1-style profile
+//! cfpd golden   [--ranks N] [--layout opt]          deterministic trace
+//! cfpd chaos    [--seed S] [--ranks N] [--dlb] [--storm] [--json]
+//!                                                   seeded fault-injection run
+//! cfpd report   [--ranks N] [--json]                telemetry + POP rollup
+//! cfpd campaign expand|run|report FILE              scenario matrix engine
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (tiny flag set).
@@ -17,10 +18,11 @@
 //! telemetry summary to **stderr** — stdout stays byte-identical to the
 //! checked-in goldens.
 
+use cfpd_campaign::{expand, full_matrix_size, run_campaign, CampaignSpec};
 use cfpd_core::{
-    golden_config, golden_trace, golden_trace_traced, measure_workload, run_simulation,
-    run_simulation_fallible, run_simulation_opts, ExecutionMode, RunOptions, SimulationConfig,
-    PhaseCostModel,
+    golden_config, golden_trace_traced, measure_workload, resolve_layout, run_scenario,
+    run_simulation, run_simulation_fallible, run_simulation_opts, ExecutionMode, RunOptions,
+    Scenario, SimulationConfig, PhaseCostModel,
 };
 use cfpd_mesh::{generate_airway, AirwaySpec};
 use cfpd_simmpi::FaultConfig;
@@ -44,21 +46,128 @@ fn main() {
         "chaos" => cmd_chaos(&flags),
         "report" => cmd_report(&flags),
         "trace" => cmd_trace(&args),
+        "campaign" => cmd_campaign(&args),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace|campaign> [flags]\n\
                  \n\
-                 mesh    --generations N  --vtk FILE\n\
-                 run     --ranks N  --threads N  --dlb  --coupled F P\n\
-                 \x20       --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
-                 profile --ranks N  --particles N\n\
-                 golden  --ranks N  --layout opt  --trace DIR\n\
-                 chaos   --seed S  --ranks N  --dlb  --storm  --json  --trace DIR\n\
-                 report  --ranks N  --json  --trace DIR\n\
-                 trace   export --ranks N --dlb --out DIR | analyze [--threads N] [--strategy S] [--dlb] | diff A B"
+                 mesh     --generations N  --vtk FILE\n\
+                 run      --ranks N  --threads N  --dlb  --coupled F P\n\
+                 \x20        --particles N  --steps N  --strategy atomics|coloring|multidep|serial\n\
+                 profile  --ranks N  --particles N\n\
+                 golden   --ranks N  --layout opt|default  --trace DIR\n\
+                 chaos    --seed S  --ranks N  --dlb  --storm  --json  --trace DIR\n\
+                 report   --ranks N  --json  --trace DIR\n\
+                 trace    export --ranks N --dlb --out DIR | analyze [--threads N] [--strategy S] [--dlb] | diff A B\n\
+                 campaign expand FILE | run FILE [--jobs N] [--json] [--report PATH] [--timing]\n\
+                 \x20        | report FILE --baseline PATH [--jobs N]"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
+    }
+}
+
+/// Load and validate a campaign file; exit 2 with a `file:line: message`
+/// diagnostic on any parse or validation error.
+fn load_campaign(path: &str) -> CampaignSpec {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("{path}: {e}");
+        std::process::exit(2);
+    });
+    CampaignSpec::from_text(&text).unwrap_or_else(|e| {
+        if e.line > 0 {
+            eprintln!("{path}:{}: {}", e.line, e.message);
+        } else {
+            eprintln!("{path}: {}", e.message);
+        }
+        std::process::exit(2);
+    })
+}
+
+/// `cfpd campaign <expand|run|report>` — the scenario matrix engine.
+///
+/// * `expand FILE` lists the expanded cells without running anything.
+/// * `run FILE` fans the matrix out over the worker pool and prints the
+///   deterministic aggregate report (exit 3 if any cell failed).
+/// * `report FILE --baseline PATH` runs the matrix and diffs the
+///   canonical JSON report against the baseline under the campaign's
+///   `[budget]`; exit 1 when any delta exceeds its budget.
+fn cmd_campaign(args: &[String]) {
+    let verb = args.get(1).map(String::as_str).unwrap_or("help");
+    let file = args.get(2).map(String::as_str);
+    let flags = Flags::parse(&args[3.min(args.len())..]);
+    let usage = || {
+        eprintln!(
+            "usage: cfpd campaign expand FILE\n\
+             \x20      cfpd campaign run FILE [--jobs N] [--json] [--report PATH] [--timing]\n\
+             \x20      cfpd campaign report FILE --baseline PATH [--jobs N]"
+        );
+        std::process::exit(if verb == "help" { 0 } else { 2 });
+    };
+    let Some(file) = file else { return usage() };
+    let spec = load_campaign(file);
+    let jobs = flags.get("--jobs").map(|v| {
+        v.parse::<usize>().unwrap_or_else(|_| {
+            eprintln!("--jobs: invalid count {v:?}");
+            std::process::exit(2);
+        })
+    });
+    match verb {
+        "expand" => {
+            let cells = expand(&spec).expect("validated spec expands");
+            println!(
+                "campaign {}: {} cells ({} before excludes)",
+                spec.name,
+                cells.len(),
+                full_matrix_size(&spec),
+            );
+            for c in &cells {
+                println!("  {}", c.id);
+            }
+        }
+        "run" => {
+            let report = run_campaign(&spec, jobs);
+            if let Some(path) = flags.get("--report") {
+                std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
+                    eprintln!("{path}: {e}");
+                    std::process::exit(2);
+                });
+                eprintln!("report: wrote {path}");
+            }
+            if flags.has("--json") {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render_table());
+            }
+            if flags.has("--timing") {
+                eprint!("{}", report.render_timing());
+            }
+            if report.failures() > 0 {
+                std::process::exit(3);
+            }
+        }
+        "report" => {
+            let Some(baseline_path) = flags.get("--baseline") else {
+                eprintln!("campaign report: --baseline PATH is required");
+                std::process::exit(2);
+            };
+            let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+                eprintln!("{baseline_path}: {e}");
+                std::process::exit(2);
+            });
+            let report = run_campaign(&spec, jobs);
+            match cfpd_campaign::compare(&report.render_json(), &baseline, &spec.budget) {
+                Ok(delta) => {
+                    print!("{}", delta.render());
+                    std::process::exit(i32::from(delta.regressions() > 0));
+                }
+                Err(e) => {
+                    eprintln!("campaign report: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        _ => usage(),
     }
 }
 
@@ -366,14 +475,12 @@ fn cmd_run(flags: &Flags) {
 fn cmd_golden(flags: &Flags) {
     let ranks = flags.usize_or("--ranks", 2);
     let mut config = golden_config();
-    config.layout = match flags.get("--layout") {
-        Some("opt") => cfpd_solver::LayoutPlan::optimized(),
-        Some(other) => {
-            eprintln!("unknown --layout {other} (expected: opt)");
-            std::process::exit(2);
-        }
-        None => cfpd_solver::LayoutPlan::from_env(),
-    };
+    // One resolution point for flag vs CFPD_LAYOUT (flag beats env) —
+    // shared with the campaign DSL's `layout =` key.
+    config.layout = resolve_layout(flags.get("--layout")).unwrap_or_else(|e| {
+        eprintln!("--layout: {e}");
+        std::process::exit(2);
+    });
     match flags.get("--trace") {
         // Traced run: stdout stays byte-identical to the untraced golden
         // (tracing never touches the logical log); the structured trace
@@ -385,7 +492,7 @@ fn cmd_golden(flags: &Flags) {
             write_trace_dir(&r.trace, &dir).expect("write trace dir");
             eprintln!("trace: wrote {}", dir.display());
         }
-        None => print!("{}", golden_trace(&config, ranks)),
+        None => print!("{}", run_scenario(&Scenario::deterministic(config, ranks)).doc),
     }
     telemetry_summary_to_stderr();
 }

@@ -1,0 +1,111 @@
+//! The campaign runner: fan the expanded matrix out across a bounded
+//! in-process worker pool.
+//!
+//! Each worker claims cells from a shared atomic cursor and runs them
+//! through [`cfpd_core::run_scenario`] — the same entry point `cfpd
+//! golden` uses — so a campaign cell *is* a golden run. Results land in
+//! a slot indexed by the cell's expansion index, which makes the
+//! aggregate report independent of completion order and therefore of
+//! the pool size: `jobs = 1`, `2` and `8` produce byte-identical
+//! reports (pinned by the concurrency-determinism test).
+//!
+//! A panicking cell is caught per-worker (`catch_unwind`) and reported
+//! as a failed cell; it never takes the campaign down with it.
+
+use crate::aggregate::{cell_metrics, CampaignReport, CellFailure, CellMetrics};
+use crate::matrix::{expand, Cell};
+use crate::scenario::CampaignSpec;
+use cfpd_core::run_scenario;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run one cell, shielding the caller from panics.
+fn run_cell(cell: &Cell) -> Result<CellMetrics, CellFailure> {
+    match catch_unwind(AssertUnwindSafe(|| run_scenario(&cell.scenario))) {
+        Ok(out) => Ok(cell_metrics(cell, &out)),
+        Err(payload) => {
+            Err(CellFailure { id: cell.id.clone(), message: panic_message(payload) })
+        }
+    }
+}
+
+/// Run every cell of `cells` over a pool of `jobs` workers; results in
+/// expansion order regardless of completion order.
+pub fn run_cells(name: &str, cells: &[Cell], jobs: usize) -> CampaignReport {
+    let jobs = jobs.max(1).min(cells.len().max(1));
+    let cursor = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<Result<CellMetrics, CellFailure>>>> =
+        cells.iter().map(|_| Mutex::new(None)).collect();
+
+    if jobs <= 1 {
+        // Inline fast path: no worker threads for a serial campaign.
+        for (cell, slot) in cells.iter().zip(&slots) {
+            *slot.lock().unwrap() = Some(run_cell(cell));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let result = run_cell(cell);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+    }
+
+    let results = slots
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("every cell slot filled"))
+        .collect();
+    CampaignReport { name: name.to_string(), cells: results }
+}
+
+/// Expand and run a whole campaign. `jobs` overrides the campaign's
+/// own `jobs` setting when `Some`.
+pub fn run_campaign(spec: &CampaignSpec, jobs: Option<usize>) -> CampaignReport {
+    let cells = expand(spec).expect("spec validated at parse time");
+    run_cells(&spec.name, &cells, jobs.unwrap_or(spec.jobs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TINY: &str = "\
+[campaign]
+name = unit
+jobs = 2
+
+[scenario]
+ranks = 2
+generations = 1
+particles = 40
+steps = 1
+
+[matrix]
+layout = default, opt
+";
+
+    #[test]
+    fn pool_sizes_produce_identical_reports() {
+        let spec = CampaignSpec::from_text(TINY).unwrap();
+        let cells = expand(&spec).unwrap();
+        let serial = run_cells(&spec.name, &cells, 1);
+        let wide = run_cells(&spec.name, &cells, 4);
+        assert_eq!(serial.render_json(), wide.render_json());
+        assert_eq!(serial.failures(), 0);
+    }
+}

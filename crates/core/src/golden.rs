@@ -9,7 +9,7 @@
 //! hex — a byte-equal trace means bit-identical physics.
 //!
 //! Regenerate goldens after an *intended* physics change with
-//! `CFPD_BLESS=1 cargo test -p cfpd-core --test golden_trace`.
+//! `CFPD_BLESS=1 cargo test -p cfpd-campaign --test golden_trace`.
 
 use crate::checkpoint::Checkpoint;
 use crate::config::SimulationConfig;
@@ -46,7 +46,7 @@ fn hex(bits: u64) -> String {
 /// serialize its logical trace.
 pub fn golden_trace(config: &SimulationConfig, n_ranks: usize) -> String {
     let result = run_simulation(config, n_ranks, 1, false);
-    render_golden(config, n_ranks, &result.logical, &result.census)
+    render_golden_doc(config, n_ranks, &result.logical, &result.census)
 }
 
 /// [`golden_trace`] but with the structured wall-clock trace switched
@@ -64,7 +64,7 @@ pub fn golden_trace_traced(
         1,
         &RunOptions { trace: true, ..Default::default() },
     );
-    let doc = render_golden(config, n_ranks, &result.logical, &result.census);
+    let doc = render_golden_doc(config, n_ranks, &result.logical, &result.census);
     (doc, result)
 }
 
@@ -102,12 +102,14 @@ pub fn golden_trace_split(config: &SimulationConfig, n_ranks: usize, split_after
         .cloned()
         .collect();
     logical.extend(part2.logical.iter().cloned());
-    render_golden(config, n_ranks, &logical, &part2.census)
+    render_golden_doc(config, n_ranks, &logical, &part2.census)
 }
 
 /// Serialize a logical event log + final census as the canonical golden
-/// document.
-fn render_golden(
+/// document. Public so the scenario entry point ([`crate::scenario`])
+/// can render a document from an already-executed run without running
+/// it twice.
+pub fn render_golden_doc(
     config: &SimulationConfig,
     n_ranks: usize,
     logical: &[LogicalEvent],

@@ -18,6 +18,7 @@ pub mod flowfield;
 pub mod fluid;
 pub mod golden;
 pub mod halo;
+pub mod scenario;
 pub mod simulation;
 pub mod workload;
 
@@ -26,7 +27,10 @@ pub use cfpd_solver::LayoutPlan;
 pub use config::{ExecutionMode, SimulationConfig};
 pub use flowfield::potential_flow;
 pub use fluid::{BoundaryConditions, FluidSolver, FluidStepReport};
-pub use golden::{golden_config, golden_trace, golden_trace_split, golden_trace_traced};
+pub use golden::{
+    golden_config, golden_trace, golden_trace_split, golden_trace_traced, render_golden_doc,
+};
+pub use scenario::{resolve_layout, run_scenario, Scenario, ScenarioOutcome};
 pub use simulation::{
     run_simulation, run_simulation_fallible, run_simulation_opts, LogicalEvent, RunOptions,
     SimulationResult,

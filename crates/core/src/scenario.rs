@@ -1,0 +1,102 @@
+//! The library-level scenario entry point shared by the `cfpd` CLI and
+//! the campaign engine (`cfpd-campaign`).
+//!
+//! Historically `bin/cfpd.rs` was the only place that knew how to turn
+//! "a configuration plus run shape" into "a golden document": the
+//! campaign engine needs exactly that path, so it lives here now and
+//! the binary calls it. One code path means a campaign cell and a
+//! hand-rolled `cfpd golden` invocation of the same configuration are
+//! *the same run* — the foundation of the differential golden matrix.
+
+use crate::config::SimulationConfig;
+use crate::golden::render_golden_doc;
+use crate::simulation::{run_simulation_opts, RunOptions, SimulationResult};
+use cfpd_solver::LayoutPlan;
+use cfpd_testkit::digest::digest_bytes;
+
+/// A fully-resolved run request: configuration plus run shape. This is
+/// the unit the campaign expander materializes per matrix cell and the
+/// unit `cfpd golden` builds from its flags.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Physics + numerics configuration (mode, layout, seed, ...).
+    pub config: SimulationConfig,
+    /// Base rank count (synchronous mode; coupled mode derives
+    /// `fluid + particles` from the config instead).
+    pub ranks: usize,
+    /// OpenMP-style workers per rank.
+    pub threads: usize,
+    /// Everything else: DLB, chaos, tracing, checkpointing.
+    pub opts: RunOptions,
+}
+
+impl Scenario {
+    /// The deterministic default shape: `ranks` ranks, one thread each,
+    /// no DLB/chaos/trace — the golden bit-identity contract.
+    pub fn deterministic(config: SimulationConfig, ranks: usize) -> Scenario {
+        Scenario { config, ranks, threads: 1, opts: RunOptions::default() }
+    }
+}
+
+/// What a scenario run produced: the canonical golden document, its
+/// FNV-1a digest (the "physics digest" campaign reports pin), and the
+/// full simulation result for anyone who needs traces or DLB stats.
+#[derive(Debug)]
+pub struct ScenarioOutcome {
+    /// Canonical golden document (see [`crate::golden`]).
+    pub doc: String,
+    /// `digest_bytes` of `doc` — byte-equality of documents collapses
+    /// to equality of this one `u64`.
+    pub digest: u64,
+    /// The underlying run.
+    pub result: SimulationResult,
+}
+
+/// Run a scenario and render its golden document. This is the single
+/// shared code path behind `cfpd golden`, `cfpd campaign run` and the
+/// differential matrix tests.
+pub fn run_scenario(s: &Scenario) -> ScenarioOutcome {
+    let result = run_simulation_opts(&s.config, s.ranks, s.threads, &s.opts);
+    let doc = render_golden_doc(&s.config, s.ranks, &result.logical, &result.census);
+    let digest = digest_bytes(doc.as_bytes());
+    ScenarioOutcome { doc, digest, result }
+}
+
+/// Resolve the effective [`LayoutPlan`] from an explicit flag value and
+/// the `CFPD_LAYOUT` environment variable, **flag beats env**. This is
+/// the one place the precedence is decided; `cfpd golden --layout` and
+/// the campaign DSL's `layout =` key both go through it.
+///
+/// `flag` is the raw `--layout` value: `"opt"`, `"default"`, or absent.
+pub fn resolve_layout(flag: Option<&str>) -> Result<LayoutPlan, String> {
+    match flag {
+        Some("opt") => Ok(LayoutPlan::optimized()),
+        Some("default") => Ok(LayoutPlan::disabled()),
+        Some(other) => Err(format!("unknown layout {other:?} (expected: default, opt)")),
+        None => Ok(LayoutPlan::from_env()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::golden::{golden_config, golden_trace};
+
+    #[test]
+    fn run_scenario_matches_golden_trace() {
+        let mut cfg = golden_config();
+        cfg.airway.generations = 1;
+        cfg.num_particles = 40;
+        cfg.steps = 1;
+        let out = run_scenario(&Scenario::deterministic(cfg.clone(), 2));
+        assert_eq!(out.doc, golden_trace(&cfg, 2));
+        assert_eq!(out.digest, digest_bytes(out.doc.as_bytes()));
+    }
+
+    #[test]
+    fn explicit_layout_flag_is_authoritative() {
+        assert_eq!(resolve_layout(Some("opt")).unwrap(), LayoutPlan::optimized());
+        assert_eq!(resolve_layout(Some("default")).unwrap(), LayoutPlan::disabled());
+        assert!(resolve_layout(Some("fast")).is_err());
+    }
+}

@@ -25,6 +25,11 @@
 #     runs reports a zero structural delta (exit 0), `cfpd trace
 #     analyze` agrees with the online POP rollup, and `cfpd golden
 #     --trace` keeps stdout byte-identical to the checked-in golden,
+#   * a campaign smoke: `cfpd campaign expand` sees the documented cell
+#     count (excludes applied), `campaign run --json` of the tiny matrix
+#     is valid JSON and byte-identical across pool sizes, and `campaign
+#     report` of the small matrix against the blessed baseline
+#     (tests/golden/campaign_small.golden) reports zero regressions,
 #   * a workspace-wide warning gate: every crate and every target must
 #     compile without a single compiler warning.
 set -euo pipefail
@@ -98,6 +103,20 @@ timeout 300 "$cfpd" golden --ranks 2 --trace "$tracedir/g" 2>/dev/null \
     | diff -q - tests/golden/sync_small.golden \
     || { echo "FAIL: --trace perturbed the golden document" >&2; exit 1; }
 test -s "$tracedir/g/trace.prv" || { echo "FAIL: golden --trace wrote no trace" >&2; exit 1; }
+
+echo "== campaign smoke (expand + run + report vs blessed baseline) =="
+timeout 120 "$cfpd" campaign expand examples/campaigns/tiny.campaign \
+    | grep -q "3 cells (4 before excludes)" \
+    || { echo "FAIL: tiny campaign expansion drifted" >&2; exit 1; }
+timeout 300 "$cfpd" campaign run examples/campaigns/tiny.campaign --json > "$tracedir/tiny-a.json"
+timeout 300 "$cfpd" campaign run examples/campaigns/tiny.campaign --jobs 1 --json > "$tracedir/tiny-b.json"
+cmp -s "$tracedir/tiny-a.json" "$tracedir/tiny-b.json" \
+    || { echo "FAIL: campaign report depends on the worker-pool size" >&2; exit 1; }
+python3 -m json.tool "$tracedir/tiny-a.json" >/dev/null \
+    || { echo "FAIL: campaign run --json is not valid JSON" >&2; exit 1; }
+timeout 600 "$cfpd" campaign report examples/campaigns/small.campaign \
+    --baseline tests/golden/campaign_small.golden >/dev/null \
+    || { echo "FAIL: small campaign drifted from the blessed baseline" >&2; exit 1; }
 
 echo "== workspace warning gate =="
 find crates -name '*.rs' -path '*/src/*' -exec touch {} +

@@ -4,7 +4,7 @@
 //! repeated runs, both in-process and through the `cfpd golden` binary.
 //!
 //! Regenerate the golden after an *intended* physics change:
-//! `CFPD_BLESS=1 cargo test -p cfpd-core --test golden_trace`
+//! `CFPD_BLESS=1 cargo test -p cfpd-campaign --test golden_trace`
 
 use cfpd_core::{golden_config, golden_trace, LayoutPlan};
 use std::path::PathBuf;
