@@ -30,10 +30,10 @@
 //! sync/coupled × default/opt × DLB-off/on matrix bit-for-bit, turning
 //! the existing pair of goldens into an N-cell gate.
 //!
-//! The `cfpd` binary (including `cfpd campaign run|expand|report`)
-//! lives in this crate — it sits above `cfpd-core` in the crate DAG,
-//! which is what lets the CLI and the campaign engine share one
-//! scenario entry point without a dependency cycle.
+//! The `cfpd` binary (including `cfpd campaign run|expand|report` and
+//! `cfpd serve`) lives in `cfpd-serve`, the top of the crate DAG — the
+//! serve scheduler depends on this crate's runner and aggregate layers,
+//! so the CLI rides with it to avoid a dependency cycle.
 
 pub mod aggregate;
 pub mod dsl;
@@ -42,9 +42,9 @@ pub mod runner;
 pub mod scenario;
 
 pub use aggregate::{
-    cell_metrics, compare, CampaignReport, CellFailure, CellMetrics, DeltaReport,
+    cell_metrics, compare, CampaignReport, CellFailure, CellMetrics, DeltaReport, WallMetrics,
 };
 pub use dsl::{parse, render, DslError, RawDoc, RawPair, RawSection};
 pub use matrix::{expand, full_matrix_size, Cell};
-pub use runner::{run_campaign, run_cells};
+pub use runner::{run_bounded, run_campaign, run_campaign_with, run_cells, run_cells_with};
 pub use scenario::{Axis, Budget, CampaignSpec, CellSettings, SCENARIO_KEYS};

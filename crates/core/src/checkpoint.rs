@@ -196,7 +196,29 @@ impl Checkpoint {
     }
 
     /// Parse the text form, verifying the embedded digest.
+    ///
+    /// Hostile-input hardening: every declared count (`ranks=`, the
+    /// per-rank `velocity=`/`pressure=`/`sgs=`/`particles=` lengths) is
+    /// validated against the number of lines actually present *before*
+    /// any allocation sized by it. Each entry occupies at least one
+    /// line, so a count larger than the remaining input is corrupt by
+    /// construction — it returns `Err` instead of attempting a huge
+    /// `Vec` reservation. This matters once checkpoints arrive over
+    /// the network (`cfpd serve`), where the length prefix is
+    /// attacker-controlled.
     pub fn from_text(text: &str) -> Result<Checkpoint, String> {
+        // Upper bound on every declared count: one entry needs one line.
+        let total_lines = text.lines().count();
+        let bounded = |n: usize, what: &str| -> Result<usize, String> {
+            if n > total_lines {
+                Err(format!(
+                    "declared {what} count {n} exceeds the {total_lines} lines of input \
+                     (corrupt or hostile length prefix)"
+                ))
+            } else {
+                Ok(n)
+            }
+        };
         let mut lines = text.lines();
         match lines.next() {
             Some("cfpd checkpoint v1") => {}
@@ -215,7 +237,8 @@ impl Checkpoint {
             .ok_or_else(|| format!("expected meta line, got {meta:?}"))?
             .split_whitespace();
         let next_step = parse_int(field(toks.next(), "next_step")?, "next_step")?;
-        let n_ranks: usize = parse_int(field(toks.next(), "ranks")?, "ranks")?;
+        let n_ranks: usize =
+            bounded(parse_int(field(toks.next(), "ranks")?, "ranks")?, "rank")?;
         let seed = parse_int(field(toks.next(), "seed")?, "seed")?;
         let config_tok = field(toks.next(), "config")?;
         let config_digest = u64::from_str_radix(config_tok, 16)
@@ -230,10 +253,13 @@ impl Checkpoint {
                 .split_whitespace();
             let rank: usize =
                 parse_int(toks.next().ok_or("missing rank id")?, "rank id")?;
-            let nv: usize = parse_int(field(toks.next(), "velocity")?, "velocity count")?;
-            let np: usize = parse_int(field(toks.next(), "pressure")?, "pressure count")?;
-            let ns: usize = parse_int(field(toks.next(), "sgs")?, "sgs count")?;
-            let nq: usize = parse_int(field(toks.next(), "particles")?, "particle count")?;
+            let nv: usize =
+                bounded(parse_int(field(toks.next(), "velocity")?, "velocity count")?, "velocity")?;
+            let np: usize =
+                bounded(parse_int(field(toks.next(), "pressure")?, "pressure count")?, "pressure")?;
+            let ns: usize = bounded(parse_int(field(toks.next(), "sgs")?, "sgs count")?, "sgs")?;
+            let nq: usize =
+                bounded(parse_int(field(toks.next(), "particles")?, "particle count")?, "particle")?;
 
             let mut vec3_line = |prefix: &str| -> Result<Vec3, String> {
                 let line = lines
@@ -395,6 +421,35 @@ mod tests {
         lines[line] = corrupted;
         let err = Checkpoint::from_text(&(lines.join("\n") + "\n")).unwrap_err();
         assert!(err.contains("digest mismatch"), "{err}");
+    }
+
+    #[test]
+    fn hostile_length_prefixes_are_rejected_before_allocation() {
+        let text = sample().to_text();
+
+        // A rank count far beyond the input must fail fast with a
+        // bounded-count error, not a multi-gigabyte Vec reservation.
+        let huge_ranks = text.replace("ranks=2", "ranks=99999999999");
+        let err = Checkpoint::from_text(&huge_ranks).unwrap_err();
+        assert!(err.contains("exceeds"), "{err}");
+
+        // Same for each per-rank payload length prefix.
+        for (field, hostile) in [
+            ("velocity=2", "velocity=18446744073709551615"),
+            ("pressure=2", "pressure=4000000000"),
+            ("sgs=1", "sgs=123456789012"),
+            ("particles=2", "particles=987654321098"),
+        ] {
+            let corrupt = text.replace(field, hostile);
+            assert_ne!(corrupt, text, "replacement for {field} must apply");
+            let err = Checkpoint::from_text(&corrupt).unwrap_err();
+            assert!(err.contains("exceeds"), "{field}: {err}");
+        }
+
+        // Counts merely larger than the remaining (but within the line
+        // budget) still fail through the ordinary truncation path.
+        let off_by_some = text.replace("particles=2", "particles=5");
+        assert!(Checkpoint::from_text(&off_by_some).is_err());
     }
 
     #[test]

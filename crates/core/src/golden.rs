@@ -9,7 +9,7 @@
 //! hex — a byte-equal trace means bit-identical physics.
 //!
 //! Regenerate goldens after an *intended* physics change with
-//! `CFPD_BLESS=1 cargo test -p cfpd-campaign --test golden_trace`.
+//! `CFPD_BLESS=1 cargo test -p cfpd-serve --test golden_trace`.
 
 use crate::checkpoint::Checkpoint;
 use crate::config::SimulationConfig;
@@ -109,12 +109,31 @@ pub fn golden_trace_split(config: &SimulationConfig, n_ranks: usize, split_after
 /// document. Public so the scenario entry point ([`crate::scenario`])
 /// can render a document from an already-executed run without running
 /// it twice.
+///
+/// The document is `header ++ event lines ++ summary`, and the three
+/// parts are exposed individually ([`render_golden_header`],
+/// [`render_golden_events`], [`render_golden_summary`]) because the
+/// header depends only on the configuration, each event line depends
+/// only on events already executed, and the summary depends only on the
+/// final census — so a run executed as checkpointed *segments* can
+/// persist its partial event text per segment and stitch a document
+/// byte-identical to the uninterrupted run (`cfpd serve` relies on
+/// this).
 pub fn render_golden_doc(
     config: &SimulationConfig,
     n_ranks: usize,
     logical: &[LogicalEvent],
     census: &ParticleCensus,
 ) -> String {
+    let mut out = render_golden_header(config, n_ranks);
+    out.push_str(&render_golden_events(logical));
+    out.push_str(&render_golden_summary(census));
+    out
+}
+
+/// The configuration-only header of the golden document (mesh + run
+/// lines). Independent of anything the run computes.
+pub fn render_golden_header(config: &SimulationConfig, n_ranks: usize) -> String {
     let airway = generate_airway(&config.airway).expect("valid airway spec");
 
     let mut out = String::new();
@@ -147,7 +166,16 @@ pub fn render_golden_doc(
         layout_marker,
     )
     .unwrap();
+    out
+}
 
+/// The per-event body lines of the golden document. Events from a
+/// contiguous step range render independently of any later step, so
+/// concatenating the rendered text of consecutive segments equals
+/// rendering the full log at once.
+pub fn render_golden_events(logical: &[LogicalEvent]) -> String {
+    let mut out = String::new();
+    let w = &mut out;
     for e in logical {
         match e {
             LogicalEvent::Assembly { step, rank, elements } => {
@@ -191,7 +219,13 @@ pub fn render_golden_doc(
             }
         }
     }
+    out
+}
 
+/// The trailing summary lines, a pure function of the final census.
+pub fn render_golden_summary(census: &ParticleCensus) -> String {
+    let mut out = String::new();
+    let w = &mut out;
     let c = census;
     let total = c.active + c.deposited + c.escaped + c.lost;
     writeln!(

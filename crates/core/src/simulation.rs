@@ -46,6 +46,16 @@ pub struct RunOptions {
     /// Resume from a previously captured checkpoint instead of injecting
     /// particles at step 0. Synchronous mode only.
     pub restore: Option<Arc<Checkpoint>>,
+    /// Stop the run at this step boundary: execute steps
+    /// `[start, stop_after)` and capture a [`Checkpoint`] with
+    /// `next_step == stop_after` instead of running to `config.steps`.
+    /// Composable with `restore`, so a run can be executed as a chain of
+    /// segments whose concatenated logical event logs are byte-identical
+    /// to the uninterrupted run (the substrate of `cfpd serve`'s
+    /// checkpoint-backed preemption). Mutually exclusive with
+    /// `checkpoint_at`; values `>= config.steps` are equivalent to
+    /// `None`. Synchronous mode only.
+    pub stop_after: Option<usize>,
     /// Record the full structured trace: per-(rank, worker) state
     /// events, MPI wait intervals, point-to-point message records and
     /// DLB transitions, all on one shared run clock. Off by default —
@@ -238,13 +248,19 @@ pub fn run_simulation_fallible(
 ) -> Result<SimulationResult, Vec<(usize, String)>> {
     let n_ranks = config.total_ranks(n_ranks);
     assert!(n_ranks >= 1);
-    if opts.checkpoint_at.is_some() || opts.restore.is_some() {
+    if opts.checkpoint_at.is_some() || opts.restore.is_some() || opts.stop_after.is_some() {
         assert_eq!(
             config.mode,
             ExecutionMode::Synchronous,
             "checkpoint/restart is only supported in synchronous mode"
         );
     }
+    assert!(
+        opts.checkpoint_at.is_none() || opts.stop_after.is_none(),
+        "checkpoint_at and stop_after are mutually exclusive"
+    );
+    // A stop boundary at or past the end is just an ordinary full run.
+    let stop_after = opts.stop_after.filter(|&s| s < config.steps);
     if let Some(cp) = &opts.restore {
         if let Err(e) = cp.validate_for(config, n_ranks) {
             panic!("refusing to restore checkpoint: {e}");
@@ -335,6 +351,7 @@ pub fn run_simulation_fallible(
     let pools2 = pools.clone();
     let window = StepWindow {
         checkpoint_at: opts.checkpoint_at,
+        stop_after,
         restore: opts.restore.clone(),
         epoch: if opts.trace { Some(run_epoch) } else { None },
     };
@@ -358,7 +375,10 @@ pub fn run_simulation_fallible(
     let out = oks.remove(0);
     let RankOut { mut trace, census, total, logical, checkpoint: cp_ranks } = out;
     let checkpoint = cp_ranks.map(|ranks| Checkpoint {
-        next_step: opts.checkpoint_at.expect("capture implies checkpoint_at"),
+        next_step: opts
+            .checkpoint_at
+            .or(stop_after)
+            .expect("capture implies checkpoint_at or stop_after"),
         n_ranks,
         seed: config.seed,
         config_digest: crate::checkpoint::config_digest(&config),
@@ -434,6 +454,7 @@ pub fn run_simulation_fallible(
 #[derive(Clone)]
 struct StepWindow {
     checkpoint_at: Option<usize>,
+    stop_after: Option<usize>,
     restore: Option<Arc<Checkpoint>>,
     /// Shared run clock for traced runs; `None` keeps the pre-existing
     /// per-rank epoch (and byte-identical untraced output).
@@ -592,6 +613,14 @@ fn sync_rank(
     };
 
     for step in start_step..config.steps {
+        // Segment stop: capture the pre-step state (exactly like a
+        // checkpoint at this boundary) and end the run without
+        // executing the step. Every rank reaches this identically — the
+        // previous iteration's barrier synchronized the boundary.
+        if window.stop_after == Some(step) {
+            captured = Some(capture(&fs, &mine, &mut trace, t(epoch)));
+            break;
+        }
         // A checkpoint captures the state *before* this step runs (i.e.
         // at the step boundary the previous barrier just synchronized).
         if window.checkpoint_at == Some(step) {
@@ -1023,6 +1052,55 @@ mod tests {
         stitched.extend(part2.logical.iter().cloned());
         assert_eq!(stitched, full.logical);
         assert_eq!(part2.census, full.census);
+    }
+
+    #[test]
+    fn stop_after_segments_stitch_bit_identically() {
+        let cfg = SimulationConfig { steps: 3, ..tiny_config() };
+        let full = run_simulation(&cfg, 2, 1, false);
+
+        // Run the same simulation as a chain of single-step segments,
+        // each stopping at the next boundary and handing its checkpoint
+        // (through the text codec) to the next segment.
+        let mut stitched: Vec<LogicalEvent> = Vec::new();
+        let mut restore: Option<Arc<Checkpoint>> = None;
+        let mut last = None;
+        for stop in [Some(1), Some(2), None] {
+            let seg = run_simulation_opts(
+                &cfg,
+                2,
+                1,
+                &RunOptions { restore: restore.take(), stop_after: stop, ..Default::default() },
+            );
+            stitched.extend(seg.logical.iter().cloned());
+            if let Some(cp) = &seg.checkpoint {
+                assert_eq!(cp.next_step, stop.unwrap());
+                let cp = Checkpoint::from_text(&cp.to_text()).expect("round-trip");
+                restore = Some(Arc::new(cp));
+            } else {
+                assert_eq!(stop, None, "every stopped segment must capture");
+            }
+            last = Some(seg);
+        }
+        // Segments are contiguous step ranges, each internally sorted by
+        // (step, rank), so plain concatenation is the full sorted log.
+        assert_eq!(stitched, full.logical);
+        assert_eq!(last.unwrap().census, full.census);
+    }
+
+    #[test]
+    fn stop_at_or_past_the_end_is_a_plain_full_run() {
+        let cfg = tiny_config();
+        let full = run_simulation(&cfg, 2, 1, false);
+        let r = run_simulation_opts(
+            &cfg,
+            2,
+            1,
+            &RunOptions { stop_after: Some(cfg.steps), ..Default::default() },
+        );
+        assert!(r.checkpoint.is_none());
+        assert_eq!(r.logical, full.logical);
+        assert_eq!(r.census, full.census);
     }
 
     #[test]

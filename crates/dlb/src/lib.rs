@@ -11,7 +11,9 @@
 //! DLB — the same "no source changes" property the paper highlights.
 
 pub mod cluster;
+pub mod joblend;
 pub mod lewi;
 
 pub use cluster::DlbCluster;
+pub use joblend::{JobArbiter, JobLendEvent, JobLendEventKind, JobLendStats};
 pub use lewi::{DlbEvent, DlbEventKind, DlbNode, DlbStats, GrantPolicy, LendPolicy};

@@ -10,6 +10,8 @@
 //!                                                   seeded fault-injection run
 //! cfpd report   [--ranks N] [--json]                telemetry + POP rollup
 //! cfpd campaign expand|run|report FILE              scenario matrix engine
+//! cfpd serve    run|submit|status|result|cancel|metrics|drain
+//!                                                   crash-safe job daemon
 //! ```
 //!
 //! Argument parsing is deliberately dependency-free (tiny flag set).
@@ -18,7 +20,8 @@
 //! telemetry summary to **stderr** — stdout stays byte-identical to the
 //! checked-in goldens.
 
-use cfpd_campaign::{expand, full_matrix_size, run_campaign, CampaignSpec};
+use cfpd_campaign::{expand, full_matrix_size, run_campaign_with, CampaignSpec};
+use cfpd_serve::{http_call, lint_prometheus, Daemon, ServeConfig, ServeFaultPlan};
 use cfpd_core::{
     golden_config, golden_trace_traced, measure_workload, resolve_layout, run_scenario,
     run_simulation, run_simulation_fallible, run_simulation_opts, ExecutionMode, RunOptions,
@@ -47,9 +50,10 @@ fn main() {
         "report" => cmd_report(&flags),
         "trace" => cmd_trace(&args),
         "campaign" => cmd_campaign(&args),
+        "serve" => cmd_serve(&args),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace|campaign> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace|campaign|serve> [flags]\n\
                  \n\
                  mesh     --generations N  --vtk FILE\n\
                  run      --ranks N  --threads N  --dlb  --coupled F P\n\
@@ -60,7 +64,9 @@ fn main() {
                  report   --ranks N  --json  --trace DIR\n\
                  trace    export --ranks N --dlb --out DIR | analyze [--threads N] [--strategy S] [--dlb] | diff A B\n\
                  campaign expand FILE | run FILE [--jobs N] [--json] [--report PATH] [--timing]\n\
-                 \x20        | report FILE --baseline PATH [--jobs N]"
+                 \x20        [--cell-timeout SECS] | report FILE --baseline PATH [--jobs N]\n\
+                 serve    run [--addr A] [--data DIR] [--workers N] ... | submit FILE | status JOB\n\
+                 \x20        | result JOB | cancel JOB | metrics [--lint] | drain   (see cfpd serve)"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -100,7 +106,8 @@ fn cmd_campaign(args: &[String]) {
         eprintln!(
             "usage: cfpd campaign expand FILE\n\
              \x20      cfpd campaign run FILE [--jobs N] [--json] [--report PATH] [--timing]\n\
-             \x20      cfpd campaign report FILE --baseline PATH [--jobs N]"
+             \x20          [--cell-timeout SECS]\n\
+             \x20      cfpd campaign report FILE --baseline PATH [--jobs N] [--cell-timeout SECS]"
         );
         std::process::exit(if verb == "help" { 0 } else { 2 });
     };
@@ -112,6 +119,7 @@ fn cmd_campaign(args: &[String]) {
             std::process::exit(2);
         })
     });
+    let cell_timeout = parse_secs_flag(&flags, "--cell-timeout");
     match verb {
         "expand" => {
             let cells = expand(&spec).expect("validated spec expands");
@@ -126,7 +134,7 @@ fn cmd_campaign(args: &[String]) {
             }
         }
         "run" => {
-            let report = run_campaign(&spec, jobs);
+            let report = run_campaign_with(&spec, jobs, cell_timeout);
             if let Some(path) = flags.get("--report") {
                 std::fs::write(path, report.render_json()).unwrap_or_else(|e| {
                     eprintln!("{path}: {e}");
@@ -155,7 +163,7 @@ fn cmd_campaign(args: &[String]) {
                 eprintln!("{baseline_path}: {e}");
                 std::process::exit(2);
             });
-            let report = run_campaign(&spec, jobs);
+            let report = run_campaign_with(&spec, jobs, cell_timeout);
             match cfpd_campaign::compare(&report.render_json(), &baseline, &spec.budget) {
                 Ok(delta) => {
                     print!("{}", delta.render());
@@ -168,6 +176,127 @@ fn cmd_campaign(args: &[String]) {
             }
         }
         _ => usage(),
+    }
+}
+
+/// Parse a `--flag SECS` duration (fractional seconds allowed).
+fn parse_secs_flag(flags: &Flags, name: &str) -> Option<std::time::Duration> {
+    flags.get(name).map(|v| {
+        let secs: f64 = v.parse().unwrap_or_else(|_| {
+            eprintln!("{name}: invalid seconds {v:?}");
+            std::process::exit(2);
+        });
+        if !(secs > 0.0) {
+            eprintln!("{name}: seconds must be > 0");
+            std::process::exit(2);
+        }
+        std::time::Duration::from_secs_f64(secs)
+    })
+}
+
+/// `cfpd serve <run|submit|status|result|cancel|metrics|drain>` — the
+/// crash-safe job daemon and its client verbs.
+///
+/// * `run` starts the daemon in the foreground (prints the bound
+///   address, serves until drained or killed);
+/// * everything else is a thin HTTP client against `--addr`.
+fn cmd_serve(args: &[String]) {
+    let verb = args.get(1).map(String::as_str).unwrap_or("help");
+    let usage = || {
+        eprintln!(
+            "usage: cfpd serve run [--addr HOST:PORT] [--data DIR] [--workers N]\n\
+             \x20         [--queue-cap N] [--ckpt-interval STEPS] [--cell-timeout SECS]\n\
+             \x20         [--retry-max N] [--deadline SECS] [--http-threads N]\n\
+             \x20      cfpd serve submit FILE --addr HOST:PORT\n\
+             \x20      cfpd serve status JOB --addr HOST:PORT\n\
+             \x20      cfpd serve result JOB --addr HOST:PORT\n\
+             \x20      cfpd serve cancel JOB --addr HOST:PORT\n\
+             \x20      cfpd serve metrics [--lint] --addr HOST:PORT\n\
+             \x20      cfpd serve drain --addr HOST:PORT"
+        );
+        std::process::exit(if verb == "help" { 0 } else { 2 });
+    };
+
+    if verb == "run" {
+        let flags = Flags::parse(&args[2.min(args.len())..]);
+        let cfg = ServeConfig {
+            addr: flags.get("--addr").unwrap_or("127.0.0.1:0").to_string(),
+            data_dir: PathBuf::from(flags.get("--data").unwrap_or("serve-data")),
+            workers: flags.usize_or("--workers", 2),
+            queue_cap: flags.usize_or("--queue-cap", 8),
+            ckpt_interval: flags.usize_or("--ckpt-interval", 1),
+            cell_timeout: parse_secs_flag(&flags, "--cell-timeout"),
+            retry_max: flags.usize_or("--retry-max", 2) as u32,
+            backoff_base_ms: flags.usize_or("--backoff-ms", 25) as u64,
+            job_deadline: parse_secs_flag(&flags, "--deadline"),
+            http_threads: flags.usize_or("--http-threads", 2),
+            fault: ServeFaultPlan::default(),
+        };
+        let daemon = Daemon::start(cfg).unwrap_or_else(|e| {
+            eprintln!("serve run: {e}");
+            std::process::exit(2);
+        });
+        println!("cfpd-serve listening on {}", daemon.addr());
+        daemon.join();
+        println!("cfpd-serve drained");
+        return;
+    }
+
+    // Client verbs. Positional operand first, flags after.
+    let operand = args.get(2).filter(|a| !a.starts_with("--")).map(String::as_str);
+    let flag_start = if operand.is_some() { 3 } else { 2 };
+    let flags = Flags::parse(&args[flag_start.min(args.len())..]);
+    let Some(addr) = flags.get("--addr") else {
+        eprintln!("serve {verb}: --addr HOST:PORT is required");
+        return usage();
+    };
+    let call = |method: &str, path: &str, body: &str| -> (u16, String) {
+        http_call(addr, method, path, body).unwrap_or_else(|e| {
+            eprintln!("serve {verb}: {addr}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let need_operand = |what: &str| {
+        operand.map(str::to_string).unwrap_or_else(|| {
+            eprintln!("serve {verb}: {what} operand is required");
+            std::process::exit(2);
+        })
+    };
+
+    let (status, body) = match verb {
+        "submit" => {
+            let file = need_operand("FILE");
+            let text = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            });
+            call("POST", "/jobs", &text)
+        }
+        "status" => call("GET", &format!("/jobs/{}", need_operand("JOB")), ""),
+        "result" => call("GET", &format!("/jobs/{}/result", need_operand("JOB")), ""),
+        "cancel" => call("DELETE", &format!("/jobs/{}", need_operand("JOB")), ""),
+        "metrics" => {
+            let (status, body) = call("GET", "/metrics", "");
+            if flags.has("--lint") {
+                match lint_prometheus(&body) {
+                    Ok(n) => eprintln!("metrics: {n} samples, lint clean"),
+                    Err(e) => {
+                        eprintln!("metrics: lint FAILED: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            (status, body)
+        }
+        "drain" => call("POST", "/drain", ""),
+        _ => return usage(),
+    };
+    print!("{body}");
+    if !body.ends_with('\n') {
+        println!();
+    }
+    if status >= 400 {
+        std::process::exit(1);
     }
 }
 

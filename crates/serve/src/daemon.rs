@@ -1,0 +1,1018 @@
+//! The daemon: HTTP front end, worker pool, and the WAL-backed job
+//! supervisor gluing [`crate::state`], [`crate::wal`], [`crate::snap`]
+//! and [`crate::runner`] together.
+//!
+//! ## Crash safety
+//!
+//! Every state transition is WAL-appended *before* the in-memory store
+//! mutates; segment boundaries persist a snapshot file *before* its
+//! `ckpt` record. A daemon killed at any instant therefore restarts
+//! into a consistent prefix: completed cells keep their recorded
+//! metrics, the in-flight cell resumes from its last pinned snapshot
+//! (bit-identically — no step is recomputed), and at worst the
+//! not-yet-pinned segment since the last boundary is re-run from that
+//! boundary, which by the `stop_after` stitching contract produces the
+//! same bytes.
+//!
+//! ## Overload
+//!
+//! Admission is bounded by `queue_cap` live jobs: beyond it, `POST
+//! /jobs` sheds with `503` + `Retry-After` instead of queueing without
+//! bound. Everything is observable on `/metrics` (strict Prometheus
+//! text, see [`crate::prom`]).
+
+use crate::fault::CellFault;
+use crate::runner::{checkpointable, finish_cell_metrics, run_segment};
+use crate::snap::{CellAcc, CellSnapshot};
+use crate::state::{Job, JobState, ResumePoint, Store};
+use crate::wal::{self, CellDoneRec, PersistGate, Wal, WalRecord};
+use crate::{http, ServeFaultPlan};
+use cfpd_campaign::{
+    expand, run_bounded, run_cells_with, CampaignSpec, Cell, CellFailure, CellMetrics,
+    WallMetrics,
+};
+use cfpd_core::Checkpoint;
+use cfpd_telemetry::JsonWriter;
+use cfpd_testkit::{digest_bytes, SplitMix64};
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Daemon configuration. The defaults suit the test suite (ephemeral
+/// port, tiny pools); `cfpd serve run` overrides from flags.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    pub addr: String,
+    pub data_dir: PathBuf,
+    /// Concurrent job slots (the [`cfpd_dlb::JobArbiter`] total).
+    pub workers: usize,
+    /// Admission bound: live (non-terminal) jobs beyond this shed 503.
+    pub queue_cap: usize,
+    /// Steps per segment of a checkpointable cell — the
+    /// recovery-granularity vs snapshot-overhead dial.
+    pub ckpt_interval: usize,
+    /// Wall-clock budget per segment (checkpointable cells) or per cell
+    /// (atomic cells); a stuck cell fails with `timeout: ...`.
+    pub cell_timeout: Option<Duration>,
+    /// Retries per cell after the first attempt.
+    pub retry_max: u32,
+    /// Exponential backoff base (doubles per retry, jittered, capped).
+    pub backoff_base_ms: u64,
+    /// Per-job wall-clock budget from admission.
+    pub job_deadline: Option<Duration>,
+    /// Accept-pool size (threads handling HTTP connections).
+    pub http_threads: usize,
+    pub fault: ServeFaultPlan,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            data_dir: PathBuf::from("serve-data"),
+            workers: 2,
+            queue_cap: 8,
+            ckpt_interval: 1,
+            cell_timeout: None,
+            retry_max: 2,
+            backoff_base_ms: 25,
+            job_deadline: None,
+            http_threads: 2,
+            fault: ServeFaultPlan::default(),
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    store: Mutex<Store>,
+    cv: Condvar,
+    wal: Wal,
+    gate: Arc<PersistGate>,
+    drain: AtomicBool,
+    kill: AtomicBool,
+    workers_alive: AtomicUsize,
+}
+
+/// A running daemon. [`Daemon::join`] blocks until shutdown (drain or
+/// kill); [`Daemon::kill`] is the abrupt path the resilience tests use.
+pub struct Daemon {
+    shared: Arc<Shared>,
+    addr: std::net::SocketAddr,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Daemon {
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Daemon> {
+        std::fs::create_dir_all(&cfg.data_dir)?;
+        cfpd_telemetry::set_enabled(true);
+        let gate = match cfg.fault.freeze_wal_after {
+            Some(n) => PersistGate::kill_after(n),
+            None => PersistGate::unlimited(),
+        };
+
+        let wal_path = cfg.data_dir.join("wal.log");
+        let replayed = wal::replay(&wal_path);
+        let mut store = Store::new(cfg.workers);
+        recover(&mut store, &cfg, &replayed.records);
+        let wal = Wal::open(&wal_path, &replayed.valid_text, replayed.next_seq, Arc::clone(&gate))?;
+
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let shared = Arc::new(Shared {
+            workers_alive: AtomicUsize::new(cfg.workers),
+            cfg,
+            store: Mutex::new(store),
+            cv: Condvar::new(),
+            wal,
+            gate,
+            drain: AtomicBool::new(false),
+            kill: AtomicBool::new(false),
+        });
+
+        let mut threads = Vec::new();
+        for _ in 0..shared.cfg.workers {
+            let sh = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || worker_loop(&sh)));
+        }
+        for _ in 0..shared.cfg.http_threads.max(1) {
+            let sh = Arc::clone(&shared);
+            let l = listener.try_clone()?;
+            threads.push(std::thread::spawn(move || accept_loop(l, &sh)));
+        }
+        shared.cv.notify_all();
+        Ok(Daemon { shared, addr, threads })
+    }
+
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Has the simulated-crash gate frozen persistence?
+    pub fn gate_frozen(&self) -> bool {
+        self.shared.gate.frozen()
+    }
+
+    /// Block until the daemon shuts down (drain completed or killed).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Abrupt shutdown: stop all threads *without* parking or
+    /// persisting anything — in-memory state dies, disk keeps whatever
+    /// the WAL and snapshots already hold. With a frozen gate this is
+    /// indistinguishable from `kill -9` at the freeze point.
+    pub fn kill(self) {
+        self.shared.kill.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        self.join();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Recovery
+
+/// Rebuild the store from the WAL's valid prefix. Pure function of the
+/// records plus the spec/snapshot files they pin.
+fn recover(store: &mut Store, cfg: &ServeConfig, records: &[WalRecord]) {
+    use std::collections::BTreeMap;
+    // job -> pinned (cell, step, snap_digest) of the latest checkpoint.
+    let mut pinned: BTreeMap<u64, (usize, usize, u64)> = BTreeMap::new();
+
+    for rec in records {
+        match rec {
+            WalRecord::Submit { job, name: _, spec_digest } => {
+                store.next_id = store.next_id.max(job + 1);
+                let path = wal::spec_path(&cfg.data_dir, *job);
+                let Ok(text) = std::fs::read_to_string(&path) else { continue };
+                if digest_bytes(text.as_bytes()) != *spec_digest {
+                    continue; // spec torn by the crash; drop the job
+                }
+                let Ok(spec) = CampaignSpec::from_text(&text) else { continue };
+                let Ok(cells) = expand(&spec) else { continue };
+                store.register_job(Job::new(*job, spec, cells));
+            }
+            WalRecord::Start { job, cell, attempt } => {
+                if let Some(j) = store.jobs.get_mut(job) {
+                    j.cur_cell = *cell;
+                    j.attempt = *attempt;
+                }
+            }
+            WalRecord::Ckpt { job, cell, step, snap_digest } => {
+                pinned.insert(*job, (*cell, *step, *snap_digest));
+            }
+            WalRecord::CellDone { job, cell, rec } => {
+                if let Some(j) = store.jobs.get_mut(job) {
+                    if let Some(c) = j.cells.get(*cell) {
+                        let m = metrics_from_rec(c, rec);
+                        if let Some(slot) = j.cells_done.get_mut(*cell) {
+                            *slot = Some(Ok(m));
+                        }
+                        j.cur_cell = cell + 1;
+                        j.attempt = 0;
+                    }
+                    pinned.remove(job);
+                }
+            }
+            WalRecord::CellFail { job, cell, reason } => {
+                if let Some(j) = store.jobs.get_mut(job) {
+                    let id = j.cells.get(*cell).map(|c| c.id.clone()).unwrap_or_default();
+                    if let Some(slot) = j.cells_done.get_mut(*cell) {
+                        *slot = Some(Err(CellFailure { id, message: reason.clone() }));
+                    }
+                    j.cur_cell = cell + 1;
+                    j.attempt = 0;
+                    pinned.remove(job);
+                }
+            }
+            WalRecord::Retry { job, attempt, .. } => {
+                if let Some(j) = store.jobs.get_mut(job) {
+                    j.attempt = *attempt;
+                    j.retries += 1;
+                }
+            }
+            WalRecord::Preempt { .. } => {}
+            WalRecord::Done { job } => store.set_state(*job, JobState::Done),
+            WalRecord::Fail { job, reason } => {
+                store.set_state(*job, JobState::Failed(reason.clone()))
+            }
+            WalRecord::Cancel { job } => store.set_state(*job, JobState::Cancelled),
+        }
+    }
+
+    // Re-queue every surviving non-terminal job, resuming from its
+    // pinned snapshot when the file verifies against the WAL.
+    let ids: Vec<u64> = store.jobs.keys().copied().collect();
+    for id in ids {
+        let job = &store.jobs[&id];
+        if job.state.is_terminal() {
+            continue;
+        }
+        let resume = pinned.get(&id).and_then(|&(cell, _step, snap_digest)| {
+            if cell != job.cur_cell {
+                return None;
+            }
+            let text = std::fs::read_to_string(wal::snap_path(&cfg.data_dir, id, cell)).ok()?;
+            if digest_bytes(text.as_bytes()) != snap_digest {
+                return None; // snapshot torn by the crash: restart the cell
+            }
+            let snap = CellSnapshot::from_text(&text).ok()?;
+            let cp = Checkpoint::from_text(&snap.checkpoint_text).ok()?;
+            Some(ResumePoint {
+                next_step: snap.next_step,
+                checkpoint: Arc::new(cp),
+                acc: snap.acc,
+                events_text: snap.events_text,
+            })
+        });
+        let state = match &resume {
+            Some(r) => {
+                let step = r.next_step;
+                let j = store.jobs.get_mut(&id).unwrap();
+                j.resume = resume;
+                j.recovered_resume_step = Some(step);
+                JobState::Checkpointed
+            }
+            None => JobState::Queued,
+        };
+        store.set_state(id, state);
+        enqueue(store, id);
+    }
+}
+
+/// Rebuild [`CellMetrics`] from a `celldone` record (wall metrics are
+/// zeroed — they are non-canonical and never rendered in the report).
+fn metrics_from_rec(cell: &Cell, rec: &CellDoneRec) -> CellMetrics {
+    CellMetrics {
+        id: cell.id.clone(),
+        axes: cell.axes.clone(),
+        digest: rec.digest,
+        events: rec.events,
+        iters_total: rec.iters_total,
+        iters_poisson: rec.iters_poisson,
+        census: rec.census,
+        deposited_frac_bits: rec.deposited_frac_bits,
+        lb_assembly_bits: rec.lb_assembly_bits,
+        wall: WallMetrics {
+            total_time: 0.0,
+            parallel_efficiency: 0.0,
+            load_balance: 0.0,
+            comm_efficiency: 0.0,
+        },
+    }
+}
+
+fn rec_from_metrics(m: &CellMetrics) -> CellDoneRec {
+    CellDoneRec {
+        digest: m.digest,
+        events: m.events,
+        iters_total: m.iters_total,
+        iters_poisson: m.iters_poisson,
+        census: m.census,
+        deposited_frac_bits: m.deposited_frac_bits,
+        lb_assembly_bits: m.lb_assembly_bits,
+    }
+}
+
+fn enqueue(store: &mut Store, id: u64) {
+    store.queue.push_back(id);
+    cfpd_telemetry::gauge_add!("serve.queue_depth", 1);
+}
+
+fn dequeue_at(store: &mut Store, idx: usize) {
+    store.queue.remove(idx);
+    cfpd_telemetry::gauge_add!("serve.queue_depth", -1);
+}
+
+// ---------------------------------------------------------------------
+// Worker pool
+
+fn worker_loop(sh: &Shared) {
+    loop {
+        let claimed = {
+            let mut store = sh.store.lock().unwrap();
+            loop {
+                if sh.kill.load(Ordering::SeqCst) || sh.drain.load(Ordering::SeqCst) {
+                    break None;
+                }
+                if let Some(id) = try_dispatch(sh, &mut store) {
+                    break Some(id);
+                }
+                let (s, _) = sh
+                    .cv
+                    .wait_timeout(store, Duration::from_millis(50))
+                    .unwrap();
+                store = s;
+            }
+        };
+        match claimed {
+            Some(id) => run_job(sh, id),
+            None => break,
+        }
+    }
+    sh.workers_alive.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Scan the queue for a dispatchable job and take a slot for it.
+/// Holds the store lock; `Some(id)` means the job is now Running.
+fn try_dispatch(sh: &Shared, store: &mut Store) -> Option<u64> {
+    let mut idx = 0;
+    while idx < store.queue.len() {
+        let id = store.queue[idx];
+        let Some(job) = store.jobs.get(&id) else {
+            dequeue_at(store, idx);
+            continue;
+        };
+        let took = match job.state {
+            JobState::Queued => store.arbiter.try_acquire(id),
+            JobState::Checkpointed => store.arbiter.try_reclaim(id),
+            _ => {
+                dequeue_at(store, idx);
+                continue;
+            }
+        };
+        if took {
+            dequeue_at(store, idx);
+            let job = store.jobs.get(&id).unwrap();
+            sh.wal.append(&WalRecord::Start {
+                job: id,
+                cell: job.cur_cell,
+                attempt: job.attempt,
+            });
+            store.set_state(id, JobState::Running);
+            return Some(id);
+        }
+        idx += 1;
+    }
+    None
+}
+
+/// Why the worker stopped driving a job.
+enum StopCause {
+    Finished,
+    Parked,
+    Killed,
+}
+
+/// Drive one job until it finishes, parks, or the daemon dies.
+/// The worker owns the job's slot for the duration.
+fn run_job(sh: &Shared, id: u64) {
+    let cause = drive(sh, id);
+    let mut store = sh.store.lock().unwrap();
+    match cause {
+        StopCause::Finished => store.arbiter.release(id),
+        StopCause::Parked => {} // slot already lent under the store lock
+        StopCause::Killed => {} // abrupt death: bookkeeping is moot
+    }
+    drop(store);
+    sh.cv.notify_all();
+}
+
+fn drive(sh: &Shared, id: u64) -> StopCause {
+    loop {
+        // Claim the next cell (or conclude the job) under the lock.
+        if sh.kill.load(Ordering::SeqCst) {
+            return StopCause::Killed;
+        }
+        let (cell, attempt, resume) = {
+            let mut store = sh.store.lock().unwrap();
+            let job = store.jobs.get_mut(&id).expect("running job exists");
+
+            if job.cancel_requested {
+                sh.wal.append(&WalRecord::Cancel { job: id });
+                store.set_state(id, JobState::Cancelled);
+                cfpd_telemetry::count!("serve.jobs_cancelled");
+                return StopCause::Finished;
+            }
+            if let Some(deadline) = sh.cfg.job_deadline {
+                if store.jobs[&id].admitted.elapsed() > deadline {
+                    let reason = format!(
+                        "deadline: job exceeded its {:.3}s budget",
+                        deadline.as_secs_f64()
+                    );
+                    sh.wal.append(&WalRecord::Fail { job: id, reason: reason.clone() });
+                    store.set_state(id, JobState::Failed(reason));
+                    cfpd_telemetry::count!("serve.jobs_failed");
+                    return StopCause::Finished;
+                }
+            }
+            let job = store.jobs.get_mut(&id).unwrap();
+            if job.cur_cell >= job.cells.len() {
+                sh.wal.append(&WalRecord::Done { job: id });
+                store.set_state(id, JobState::Done);
+                cfpd_telemetry::count!("serve.jobs_done");
+                return StopCause::Finished;
+            }
+            if job.preempt_requested {
+                return park(sh, &mut store, id);
+            }
+            // Clone (not take): a crash on the attempt's first segment
+            // must not lose the parked state the retry resumes from.
+            (job.cells[job.cur_cell].clone(), job.attempt, job.resume.clone())
+        };
+
+        let fault = sh.cfg.fault.decide(id, cell.index as u64, attempt);
+        let outcome = if checkpointable(&cell.scenario) {
+            match drive_segments(sh, id, &cell, attempt, resume, fault) {
+                SegmentsOutcome::Cell(result) => result,
+                SegmentsOutcome::Stopped(cause) => return cause,
+            }
+        } else {
+            run_atomic_cell(sh, &cell, fault)
+        };
+
+        match outcome {
+            Ok(metrics) => {
+                let mut store = sh.store.lock().unwrap();
+                let cur = store.jobs[&id].cur_cell;
+                sh.wal.append(&WalRecord::CellDone {
+                    job: id,
+                    cell: cur,
+                    rec: rec_from_metrics(&metrics),
+                });
+                let job = store.jobs.get_mut(&id).unwrap();
+                job.cells_done[cur] = Some(Ok(metrics));
+                job.cur_cell += 1;
+                job.attempt = 0;
+                job.resume = None;
+                let _ = std::fs::remove_file(wal::snap_path(&sh.cfg.data_dir, id, cur));
+            }
+            Err(reason) => {
+                if let Some(cause) = handle_attempt_failure(sh, id, reason) {
+                    return cause;
+                }
+            }
+        }
+    }
+}
+
+/// Park a running job on its checkpoint (preemption or drain): lend the
+/// slot, requeue, log. Caller holds the store lock.
+fn park(sh: &Shared, store: &mut Store, id: u64) -> StopCause {
+    let job = store.jobs.get_mut(&id).unwrap();
+    let cell = job.cur_cell;
+    let was_preempt = job.preempt_requested;
+    job.preempt_requested = false;
+    sh.wal.append(&WalRecord::Preempt { job: id, cell });
+    store.set_state(id, JobState::Checkpointed);
+    store.arbiter.lend(id);
+    enqueue(store, id);
+    if was_preempt {
+        cfpd_telemetry::count!("serve.preemptions");
+    }
+    sh.cv.notify_all();
+    StopCause::Parked
+}
+
+enum SegmentsOutcome {
+    /// The cell concluded (successfully or with a failed attempt).
+    Cell(Result<CellMetrics, String>),
+    /// The job parked or the daemon died mid-cell.
+    Stopped(StopCause),
+}
+
+/// Run a checkpointable cell as a segment chain, persisting a snapshot
+/// at every boundary and honouring preempt/drain/cancel/kill between
+/// segments.
+fn drive_segments(
+    sh: &Shared,
+    id: u64,
+    cell: &Cell,
+    attempt: u32,
+    resume: Option<ResumePoint>,
+    fault: CellFault,
+) -> SegmentsOutcome {
+    let steps = cell.scenario.config.steps;
+    let interval = sh.cfg.ckpt_interval.max(1);
+    let (mut acc, mut events_text, mut restore, mut next_step) = match resume {
+        Some(r) => (r.acc, r.events_text, Some(r.checkpoint), r.next_step),
+        None => (CellAcc::default(), String::new(), None, 0),
+    };
+    let mut fault = fault; // consumed by the first segment of the attempt
+
+    loop {
+        match std::mem::replace(&mut fault, CellFault::None) {
+            CellFault::Crash => {
+                return SegmentsOutcome::Cell(Err(
+                    "injected: seeded worker crash".to_string()
+                ));
+            }
+            CellFault::Stall => std::thread::sleep(Duration::from_millis(sh.cfg.stall_ms())),
+            CellFault::None => {}
+        }
+
+        let until = next_step + interval;
+        let stop_after = if until >= steps { None } else { Some(until) };
+        let scenario = cell.scenario.clone();
+        let seg_restore = restore.take();
+        let seg = run_bounded(
+            move || {
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+                    run_segment(&scenario, seg_restore, stop_after)
+                }))
+            },
+            sh.cfg.cell_timeout,
+        );
+        let seg = match seg {
+            None => {
+                return SegmentsOutcome::Cell(Err(format!(
+                    "timeout: segment exceeded its {:.3}s wall-clock budget \
+                     (worker abandoned)",
+                    sh.cfg.cell_timeout.expect("timeout fired").as_secs_f64()
+                )))
+            }
+            Some(Err(payload)) => {
+                return SegmentsOutcome::Cell(Err(panic_message(payload)))
+            }
+            Some(Ok(seg)) => seg,
+        };
+
+        acc.absorb(&seg.logical);
+        events_text.push_str(&seg.events_text);
+
+        if seg.done {
+            return SegmentsOutcome::Cell(Ok(finish_cell_metrics(
+                cell,
+                &acc,
+                &events_text,
+                &seg.census,
+            )));
+        }
+
+        // Segment boundary: pin the progress, then honour control flags.
+        let cp = seg.checkpoint.expect("parked segment yields a checkpoint");
+        next_step = cp.next_step;
+        let snap = CellSnapshot {
+            job: id,
+            cell: cell.index,
+            attempt,
+            next_step,
+            acc: acc.clone(),
+            events_text: events_text.clone(),
+            checkpoint_text: cp.to_text(),
+        };
+        let snap_digest = snap.digest();
+        snap.write(&wal::snap_path(&sh.cfg.data_dir, id, cell.index), &sh.gate);
+        sh.wal.append(&WalRecord::Ckpt {
+            job: id,
+            cell: cell.index,
+            step: next_step,
+            snap_digest,
+        });
+        let cp = Arc::new(cp);
+
+        {
+            let mut store = sh.store.lock().unwrap();
+            let job = store.jobs.get_mut(&id).unwrap();
+            job.resume = Some(ResumePoint {
+                next_step,
+                checkpoint: Arc::clone(&cp),
+                acc: acc.clone(),
+                events_text: events_text.clone(),
+            });
+            if sh.kill.load(Ordering::SeqCst) {
+                return SegmentsOutcome::Stopped(StopCause::Killed);
+            }
+            if job.cancel_requested {
+                sh.wal.append(&WalRecord::Cancel { job: id });
+                store.set_state(id, JobState::Cancelled);
+                cfpd_telemetry::count!("serve.jobs_cancelled");
+                return SegmentsOutcome::Stopped(StopCause::Finished);
+            }
+            let job = store.jobs.get_mut(&id).unwrap();
+            if job.preempt_requested || sh.drain.load(Ordering::SeqCst) {
+                return SegmentsOutcome::Stopped(park(sh, &mut store, id));
+            }
+        }
+        restore = Some(cp);
+    }
+}
+
+/// Run a non-checkpointable cell in one shot through the campaign
+/// pool's own bounded runner (same timeout semantics, same failure
+/// text) — supervised and retried, but not preemptible mid-cell.
+fn run_atomic_cell(
+    sh: &Shared,
+    cell: &Cell,
+    fault: CellFault,
+) -> Result<CellMetrics, String> {
+    match fault {
+        CellFault::Crash => return Err("injected: seeded worker crash".to_string()),
+        CellFault::Stall => std::thread::sleep(Duration::from_millis(sh.cfg.stall_ms())),
+        CellFault::None => {}
+    }
+    let report = run_cells_with(
+        "serve-cell",
+        std::slice::from_ref(cell),
+        1,
+        sh.cfg.cell_timeout,
+    );
+    match report.cells.into_iter().next().expect("one cell in, one result out") {
+        Ok(m) => Ok(m),
+        Err(f) => Err(f.message),
+    }
+}
+
+impl ServeConfig {
+    fn stall_ms(&self) -> u64 {
+        self.fault.stall_ms
+    }
+}
+
+/// Book a failed attempt: retry with seeded exponential backoff while
+/// budget remains, otherwise record the cell as failed and move on.
+/// `Some(cause)` ends the worker's ownership of the job.
+fn handle_attempt_failure(sh: &Shared, id: u64, reason: String) -> Option<StopCause> {
+    let backoff_ms;
+    {
+        let mut store = sh.store.lock().unwrap();
+        let job = store.jobs.get_mut(&id).unwrap();
+        let cur = job.cur_cell;
+        job.attempt += 1;
+        job.retries += 1;
+        let attempt = job.attempt;
+        if attempt > sh.cfg.retry_max {
+            sh.wal.append(&WalRecord::CellFail { job: id, cell: cur, reason: reason.clone() });
+            let job = store.jobs.get_mut(&id).unwrap();
+            let cell_id = job.cells[cur].id.clone();
+            job.cells_done[cur] = Some(Err(CellFailure { id: cell_id, message: reason }));
+            job.cur_cell += 1;
+            job.attempt = 0;
+            job.resume = None;
+            return None;
+        }
+        // Exponential backoff with seeded jitter, capped — deterministic
+        // for a fixed (seed, job, attempt), so sweeps replay exactly.
+        let base = sh.cfg.backoff_base_ms << (attempt - 1).min(16);
+        let jitter = SplitMix64::new(sh.cfg.fault.seed ^ id ^ attempt as u64).next_u64()
+            % sh.cfg.backoff_base_ms.max(1);
+        backoff_ms = base.min(250) + jitter;
+        sh.wal.append(&WalRecord::Retry {
+            job: id,
+            cell: cur,
+            attempt,
+            backoff_ms,
+            reason,
+        });
+        cfpd_telemetry::count!("serve.retries");
+    }
+    if sh.kill.load(Ordering::SeqCst) {
+        return Some(StopCause::Killed);
+    }
+    std::thread::sleep(Duration::from_millis(backoff_ms));
+    None
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------
+// HTTP front end
+
+fn accept_loop(listener: TcpListener, sh: &Shared) {
+    loop {
+        if sh.kill.load(Ordering::SeqCst) {
+            return;
+        }
+        if sh.drain.load(Ordering::SeqCst) && sh.workers_alive.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        match listener.accept() {
+            Ok((mut stream, _)) => {
+                cfpd_telemetry::count!("serve.http_requests");
+                let resp = match http::read_request(&mut stream) {
+                    Ok(req) => route(sh, &req),
+                    Err(e) => http::Response::error(400, &e),
+                };
+                http::write_response(&mut stream, &resp);
+            }
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn route(sh: &Shared, req: &http::Request) -> http::Response {
+    let segs: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    match (req.method.as_str(), segs.as_slice()) {
+        ("GET", ["healthz"]) => http::Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => http::Response {
+            status: 200,
+            headers: Vec::new(),
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: cfpd_telemetry::snapshot().render_prometheus(),
+        },
+        ("POST", ["drain"]) => {
+            sh.drain.store(true, Ordering::SeqCst);
+            sh.cv.notify_all();
+            http::Response::text(200, "draining\n")
+        }
+        ("POST", ["jobs"]) => submit(sh, &req.body),
+        ("GET", ["jobs", id]) => with_job(sh, id, status_json),
+        ("GET", ["jobs", id, "result"]) => with_job(sh, id, result_json),
+        ("DELETE", ["jobs", id]) => cancel(sh, id),
+        _ => http::Response::error(404, "no such endpoint"),
+    }
+}
+
+fn submit(sh: &Shared, body: &str) -> http::Response {
+    if sh.drain.load(Ordering::SeqCst) {
+        let mut resp = http::Response::error(503, "draining");
+        resp.headers.push(("retry-after".to_string(), "5".to_string()));
+        return resp;
+    }
+    let spec = match CampaignSpec::from_text(body) {
+        Ok(s) => s,
+        Err(e) => return http::Response::error(400, &format!("bad campaign spec: {e}")),
+    };
+    let cells = match expand(&spec) {
+        Ok(c) if !c.is_empty() => c,
+        Ok(_) => return http::Response::error(400, "campaign expands to zero cells"),
+        Err(e) => return http::Response::error(400, &format!("bad campaign spec: {e}")),
+    };
+
+    let mut store = sh.store.lock().unwrap();
+    if store.live_jobs() >= sh.cfg.queue_cap {
+        cfpd_telemetry::count!("serve.jobs_shed");
+        let mut resp = http::Response::error(503, "admission queue full");
+        resp.headers.push(("retry-after".to_string(), "1".to_string()));
+        return resp;
+    }
+    let id = store.next_id;
+    store.next_id += 1;
+    // Spec file first, then the WAL record pinning its digest: a crash
+    // between the two leaves an orphan file, never a dangling record.
+    if sh.gate.admit() {
+        let _ = std::fs::write(wal::spec_path(&sh.cfg.data_dir, id), body);
+    }
+    sh.wal.append(&WalRecord::Submit {
+        job: id,
+        name: spec.name.clone(),
+        spec_digest: digest_bytes(body.as_bytes()),
+    });
+    store.register_job(Job::new(id, spec, cells));
+    enqueue(&mut store, id);
+    maybe_preempt(&mut store);
+    cfpd_telemetry::count!("serve.jobs_submitted");
+    drop(store);
+    sh.cv.notify_all();
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("job").u64(id);
+    w.key("state").string("queued");
+    w.end_object();
+    http::Response::json(201, w.finish())
+}
+
+/// Checkpoint-backed preemption policy: when the node is full and a
+/// queued job is at most half the size of the largest running job,
+/// flag that job to park at its next segment boundary.
+fn maybe_preempt(store: &mut Store) {
+    if store.arbiter.free() > 0 {
+        return;
+    }
+    let cand = store
+        .queue
+        .iter()
+        .filter_map(|id| store.jobs.get(id))
+        .filter(|j| matches!(j.state, JobState::Queued | JobState::Checkpointed))
+        .map(|j| j.remaining_steps())
+        .min();
+    let victim = store
+        .jobs
+        .values()
+        .filter(|j| j.state == JobState::Running && !j.preempt_requested)
+        .max_by_key(|j| j.remaining_steps())
+        .map(|j| j.id);
+    if let (Some(cand_rem), Some(victim_id)) = (cand, victim) {
+        let victim_rem = store.jobs[&victim_id].remaining_steps();
+        if cand_rem.saturating_mul(2) <= victim_rem {
+            store.jobs.get_mut(&victim_id).unwrap().preempt_requested = true;
+        }
+    }
+}
+
+fn with_job(
+    sh: &Shared,
+    id: &str,
+    f: fn(&Job) -> http::Response,
+) -> http::Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return http::Response::error(400, "job id is not a number");
+    };
+    let store = sh.store.lock().unwrap();
+    match store.jobs.get(&id) {
+        Some(job) => f(job),
+        None => http::Response::error(404, "no such job"),
+    }
+}
+
+fn status_json(job: &Job) -> http::Response {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("job").u64(job.id);
+    w.key("name").string(&job.name);
+    w.key("state").string(job.state.label());
+    if let JobState::Failed(reason) = &job.state {
+        w.key("error").string(reason);
+    }
+    w.key("cell").u64(job.cur_cell as u64);
+    w.key("cells").u64(job.cells.len() as u64);
+    w.key("cells_done").u64(job.cells_finished() as u64);
+    w.key("cells_failed").u64(job.cells_failed() as u64);
+    w.key("attempt").u64(job.attempt as u64);
+    w.key("retries").u64(job.retries);
+    if let Some(step) = job.recovered_resume_step {
+        w.key("resumed_step").u64(step as u64);
+    }
+    w.end_object();
+    http::Response::json(200, w.finish())
+}
+
+fn result_json(job: &Job) -> http::Response {
+    match &job.state {
+        JobState::Done => http::Response::json(200, job.report().render_json()),
+        JobState::Failed(reason) => {
+            http::Response::error(409, &format!("job failed: {reason}"))
+        }
+        JobState::Cancelled => http::Response::error(409, "job was cancelled"),
+        other => http::Response::error(409, &format!("job is {}, not done", other.label())),
+    }
+}
+
+fn cancel(sh: &Shared, id: &str) -> http::Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return http::Response::error(400, "job id is not a number");
+    };
+    let mut store = sh.store.lock().unwrap();
+    let Some(job) = store.jobs.get_mut(&id) else {
+        return http::Response::error(404, "no such job");
+    };
+    let (status, state) = match job.state {
+        _ if job.state.is_terminal() => {
+            return http::Response::error(409, "job is already terminal")
+        }
+        JobState::Running => {
+            // The worker owns the slot; it observes the flag at the next
+            // segment boundary and cancels there.
+            job.cancel_requested = true;
+            (202, "cancelling")
+        }
+        _ => {
+            sh.wal.append(&WalRecord::Cancel { job: id });
+            store.set_state(id, JobState::Cancelled);
+            cfpd_telemetry::count!("serve.jobs_cancelled");
+            (200, "cancelled")
+        }
+    };
+    drop(store);
+    sh.cv.notify_all();
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("job").u64(id);
+    w.key("state").string(state);
+    w.end_object();
+    http::Response::json(status, w.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::http_call;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir()
+            .join(format!("cfpd-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    const TINY: &str = "\
+[campaign]
+name = unit
+[scenario]
+ranks = 2
+generations = 1
+particles = 40
+steps = 2
+";
+
+    fn poll_done(addr: &str, job: u64) -> String {
+        for _ in 0..600 {
+            let (code, body) =
+                http_call(addr, "GET", &format!("/jobs/{job}"), "").unwrap();
+            assert_eq!(code, 200, "{body}");
+            if body.contains("\"state\":\"done\"") {
+                let (code, body) =
+                    http_call(addr, "GET", &format!("/jobs/{job}/result"), "").unwrap();
+                assert_eq!(code, 200, "{body}");
+                return body;
+            }
+            assert!(
+                !body.contains("\"failed\"") && !body.contains("\"cancelled\""),
+                "job went terminal the wrong way: {body}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        panic!("job {job} never finished");
+    }
+
+    #[test]
+    fn submit_run_result_round_trip_matches_direct_execution() {
+        let dir = tmp_dir("basic");
+        let cfg = ServeConfig { data_dir: dir.clone(), ..Default::default() };
+        let daemon = Daemon::start(cfg).unwrap();
+        let addr = daemon.addr().to_string();
+
+        let (code, body) = http_call(&addr, "GET", "/healthz", "").unwrap();
+        assert_eq!((code, body.as_str()), (200, "ok\n"));
+
+        let (code, body) = http_call(&addr, "POST", "/jobs", TINY).unwrap();
+        assert_eq!(code, 201, "{body}");
+        let result = poll_done(&addr, 1);
+
+        let spec = CampaignSpec::from_text(TINY).unwrap();
+        let direct = cfpd_campaign::run_campaign(&spec, Some(1)).render_json();
+        assert_eq!(result, direct, "served result must be byte-identical");
+
+        let (code, _) = http_call(&addr, "POST", "/drain", "").unwrap();
+        assert_eq!(code, 200);
+        daemon.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_specs_and_unknown_endpoints_are_4xx() {
+        let dir = tmp_dir("errs");
+        let daemon =
+            Daemon::start(ServeConfig { data_dir: dir.clone(), ..Default::default() })
+                .unwrap();
+        let addr = daemon.addr().to_string();
+        let (code, body) = http_call(&addr, "POST", "/jobs", "[campaign]\n").unwrap();
+        assert_eq!(code, 400, "{body}");
+        let (code, _) = http_call(&addr, "GET", "/jobs/999", "").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_call(&addr, "GET", "/nope", "").unwrap();
+        assert_eq!(code, 404);
+        let (code, _) = http_call(&addr, "DELETE", "/jobs/abc", "").unwrap();
+        assert_eq!(code, 400);
+        daemon.kill();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

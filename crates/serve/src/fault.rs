@@ -1,0 +1,111 @@
+//! Seeded fault plan for the serving layer — the job-level analogue of
+//! `cfpd_simmpi`'s chaos fabric. Everything is a pure function of
+//! `(seed, job, cell, attempt)`, so a failing resilience sweep replays
+//! exactly from its seed.
+
+use cfpd_testkit::SplitMix64;
+
+/// What the fault plan does to one cell attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellFault {
+    None,
+    /// The worker "crashes": the attempt fails immediately (exercises
+    /// the retry/backoff path).
+    Crash,
+    /// The cell goes stuck for `ServeFaultPlan::stall_ms` (exercises the
+    /// per-segment wall-clock budget).
+    Stall,
+}
+
+/// Deterministic fault injection plan for `cfpd serve`.
+///
+/// The interesting member for crash-recovery testing is
+/// `freeze_wal_after`: after that many persisted appends the daemon's
+/// persistence gate freezes — WAL, snapshots and spec files all stop
+/// reaching disk, which is exactly the on-disk state a `kill -9` at
+/// that instant leaves. The resilience suite sweeps the cut point over
+/// every prefix and restarts from the leftovers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeFaultPlan {
+    pub seed: u64,
+    /// Crash the first N attempts of every cell (deterministic retry
+    /// exercise; the (N+1)-th attempt runs clean).
+    pub crash_first_attempts: u32,
+    /// After the forced crashes, crash ~X/1000 of attempts, seeded.
+    pub crash_per_mille: u16,
+    /// Stall the first N post-crash attempts of every cell...
+    pub stall_first_attempts: u32,
+    /// ...for this long.
+    pub stall_ms: u64,
+    /// Freeze all persistence after this many admitted appends.
+    pub freeze_wal_after: Option<u64>,
+}
+
+impl ServeFaultPlan {
+    /// Decide the fate of one `(job, cell, attempt)`.
+    pub fn decide(&self, job: u64, cell: u64, attempt: u32) -> CellFault {
+        if attempt < self.crash_first_attempts {
+            return CellFault::Crash;
+        }
+        if attempt < self.crash_first_attempts + self.stall_first_attempts {
+            return CellFault::Stall;
+        }
+        if self.crash_per_mille > 0 {
+            // Mix the coordinates through SplitMix64 so neighbouring
+            // (job, cell, attempt) triples draw independent values.
+            let mut rng = SplitMix64::new(
+                self.seed ^ job.rotate_left(17) ^ cell.rotate_left(34) ^ (attempt as u64) << 51,
+            );
+            if rng.next_u64() % 1000 < self.crash_per_mille as u64 {
+                return CellFault::Crash;
+            }
+        }
+        CellFault::None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forced_faults_come_in_declared_order() {
+        let plan = ServeFaultPlan {
+            crash_first_attempts: 2,
+            stall_first_attempts: 1,
+            stall_ms: 5,
+            ..Default::default()
+        };
+        assert_eq!(plan.decide(1, 0, 0), CellFault::Crash);
+        assert_eq!(plan.decide(1, 0, 1), CellFault::Crash);
+        assert_eq!(plan.decide(1, 0, 2), CellFault::Stall);
+        assert_eq!(plan.decide(1, 0, 3), CellFault::None);
+    }
+
+    #[test]
+    fn seeded_crashes_are_deterministic_and_roughly_calibrated() {
+        let plan = ServeFaultPlan { seed: 42, crash_per_mille: 250, ..Default::default() };
+        let count = |p: &ServeFaultPlan| {
+            (0..1000u64)
+                .filter(|&j| p.decide(j, j % 7, 0) == CellFault::Crash)
+                .count()
+        };
+        let a = count(&plan);
+        assert_eq!(a, count(&plan), "same seed, same fates");
+        assert!((150..350).contains(&a), "~25% of 1000 attempts, got {a}");
+        let other = ServeFaultPlan { seed: 43, ..plan };
+        assert_ne!(
+            (0..1000u64).map(|j| plan.decide(j, 0, 0)).collect::<Vec<_>>(),
+            (0..1000u64).map(|j| other.decide(j, 0, 0)).collect::<Vec<_>>(),
+            "different seeds draw different fates"
+        );
+    }
+
+    #[test]
+    fn zero_plan_is_inert() {
+        let plan = ServeFaultPlan::default();
+        for j in 0..50 {
+            assert_eq!(plan.decide(j, 0, 0), CellFault::None);
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Segment execution for the daemon: run a slice `[start, stop_after)`
+//! of a scenario via `RunOptions::stop_after`, and stitch finished
+//! segments back into the canonical cell metrics.
+//!
+//! The byte-identity contract: for any segmentation of `0..steps`, the
+//! concatenated golden event text plus the final census render to the
+//! same document (and therefore the same digest) as one uninterrupted
+//! run. The core guarantees the event stream ([`cfpd_core::golden`]
+//! renders events segment-independently); this module is just careful
+//! bookkeeping on top.
+
+use crate::snap::CellAcc;
+use cfpd_campaign::{CellMetrics, WallMetrics};
+use cfpd_campaign::Cell;
+use cfpd_core::{
+    render_golden_events, render_golden_header, render_golden_summary, run_simulation_opts,
+    Checkpoint, RunOptions, Scenario,
+};
+use cfpd_particles::ParticleCensus;
+use cfpd_testkit::digest_bytes;
+use std::sync::Arc;
+
+/// Outcome of one segment run.
+pub struct SegmentOut {
+    /// Golden event lines of this segment only.
+    pub events_text: String,
+    /// The run's logical events (for the accumulator).
+    pub logical: Vec<cfpd_core::LogicalEvent>,
+    /// Census after the segment (only meaningful when `done`).
+    pub census: ParticleCensus,
+    /// The parked physics state (`None` when the cell finished).
+    pub checkpoint: Option<Checkpoint>,
+    pub done: bool,
+}
+
+/// Can this scenario run as a resumable segment chain? Mirrors the
+/// core's checkpoint preconditions: synchronous mode, single-threaded
+/// ranks, no DLB, no chaos. Anything else runs atomically (still
+/// supervised and retried, just not preempted mid-flight).
+pub fn checkpointable(s: &Scenario) -> bool {
+    s.config.mode == cfpd_core::ExecutionMode::Synchronous
+        && s.threads == 1
+        && !s.opts.dlb
+        && s.opts.fault.is_none()
+}
+
+/// Run steps `[restore.next_step, stop_after)` of the scenario (from
+/// step 0 when `restore` is `None`; to completion when `stop_after`
+/// is `None` or `>= steps`).
+pub fn run_segment(
+    s: &Scenario,
+    restore: Option<Arc<Checkpoint>>,
+    stop_after: Option<usize>,
+) -> SegmentOut {
+    let stop_after = stop_after.filter(|&k| k < s.config.steps);
+    let opts = RunOptions { restore, stop_after, ..s.opts.clone() };
+    let result = run_simulation_opts(&s.config, s.ranks, s.threads, &opts);
+    SegmentOut {
+        events_text: render_golden_events(&result.logical),
+        logical: result.logical,
+        census: result.census,
+        done: stop_after.is_none(),
+        checkpoint: result.checkpoint,
+    }
+}
+
+/// Stitch a finished cell back into [`CellMetrics`] — the same numbers
+/// `cfpd_campaign::cell_metrics` computes from an uninterrupted run.
+/// Wall-clock metrics are zeroed: a resumed cell's wall time spans
+/// daemon restarts and means nothing; the canonical report never
+/// renders them, so the JSON stays byte-identical.
+pub fn finish_cell_metrics(
+    cell: &Cell,
+    acc: &CellAcc,
+    events_text: &str,
+    census: &ParticleCensus,
+) -> CellMetrics {
+    let doc = format!(
+        "{}{}{}",
+        render_golden_header(&cell.scenario.config, cell.scenario.ranks),
+        events_text,
+        render_golden_summary(census),
+    );
+    let c = census;
+    let total = c.active + c.deposited + c.escaped + c.lost;
+    let deposited_frac = if total == 0 { 0.0 } else { c.deposited as f64 / total as f64 };
+    CellMetrics {
+        id: cell.id.clone(),
+        axes: cell.axes.clone(),
+        digest: digest_bytes(doc.as_bytes()),
+        events: acc.events,
+        iters_total: acc.iters_total,
+        iters_poisson: acc.iters_poisson,
+        census: [c.active as u64, c.deposited as u64, c.escaped as u64, c.lost as u64],
+        deposited_frac_bits: deposited_frac.to_bits(),
+        lb_assembly_bits: acc.lb_assembly().to_bits(),
+        wall: WallMetrics {
+            total_time: 0.0,
+            parallel_efficiency: 0.0,
+            load_balance: 0.0,
+            comm_efficiency: 0.0,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpd_campaign::{cell_metrics, expand, CampaignSpec};
+    use cfpd_core::run_scenario;
+
+    const TINY: &str = "\
+[campaign]
+name = seg
+[scenario]
+ranks = 2
+generations = 1
+particles = 40
+steps = 3
+";
+
+    #[test]
+    fn segment_chain_matches_the_uninterrupted_run_bit_for_bit() {
+        let spec = CampaignSpec::from_text(TINY).unwrap();
+        let cells = expand(&spec).unwrap();
+        let cell = &cells[0];
+        assert!(checkpointable(&cell.scenario));
+
+        // Uninterrupted reference.
+        let whole = run_scenario(&cell.scenario);
+        let want = cell_metrics(cell, &whole);
+
+        // Segment chain with a boundary after every step, snapshots
+        // round-tripped through text like the daemon does.
+        let mut acc = CellAcc::default();
+        let mut events = String::new();
+        let mut restore: Option<Arc<Checkpoint>> = None;
+        let mut census = None;
+        for stop in [Some(1), Some(2), None] {
+            let seg = run_segment(&cell.scenario, restore.take(), stop);
+            acc.absorb(&seg.logical);
+            events.push_str(&seg.events_text);
+            if seg.done {
+                census = Some(seg.census);
+            } else {
+                let cp = seg.checkpoint.expect("parked segment yields a checkpoint");
+                let cp = Checkpoint::from_text(&cp.to_text()).expect("codec round-trip");
+                restore = Some(Arc::new(cp));
+            }
+        }
+        let got = finish_cell_metrics(cell, &acc, &events, &census.unwrap());
+        assert_eq!(got.digest, want.digest, "stitched digest differs");
+        assert_eq!(got.events, want.events);
+        assert_eq!(got.iters_total, want.iters_total);
+        assert_eq!(got.iters_poisson, want.iters_poisson);
+        assert_eq!(got.census, want.census);
+        assert_eq!(got.deposited_frac_bits, want.deposited_frac_bits);
+        assert_eq!(got.lb_assembly_bits, want.lb_assembly_bits);
+    }
+}

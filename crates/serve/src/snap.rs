@@ -1,0 +1,331 @@
+//! Per-cell progress snapshots — what turns the daemon's segment loop
+//! into *bit-identical* resume.
+//!
+//! A checkpointable cell runs as a chain of `stop_after` segments (see
+//! `cfpd_core::RunOptions`). At every boundary the worker persists a
+//! snapshot holding (a) the golden event text produced so far, (b) the
+//! metrics accumulator over those events, and (c) the full
+//! `cfpd_core::checkpoint` hex-text for the physics state. A restarted
+//! daemon reloads the snapshot, restores the checkpoint, runs the
+//! remaining steps, and stitches `header + events + summary` into a
+//! document byte-equal to the uninterrupted run's — same digest, same
+//! canonical report.
+//!
+//! The file format follows the checkpoint codec: versioned magic, a
+//! whole-body digest line, then line-counted sections whose declared
+//! counts are bounded by the input size (hostile length prefixes are
+//! rejected before allocation, mirroring `Checkpoint::from_text`).
+
+use crate::wal::PersistGate;
+use cfpd_core::LogicalEvent;
+use cfpd_testkit::digest_bytes;
+use std::fmt::Write as _;
+use std::path::Path;
+
+pub const SNAP_MAGIC: &str = "cfpd serve snapshot v1";
+
+/// Running deterministic-metrics accumulator over a cell's logical
+/// events — the same quantities `cfpd_campaign::cell_metrics` derives
+/// from a complete run, accumulated segment by segment.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CellAcc {
+    pub events: u64,
+    pub iters_total: u64,
+    pub iters_poisson: u64,
+    /// Per-rank step-0 assembly element counts (only the first segment
+    /// contributes; kept in arrival order like the aggregator).
+    pub elems: Vec<(usize, u64)>,
+}
+
+impl CellAcc {
+    /// Fold one segment's events in.
+    pub fn absorb(&mut self, logical: &[LogicalEvent]) {
+        self.events += logical.len() as u64;
+        for e in logical {
+            match e {
+                LogicalEvent::Solve { system, iterations, .. } => {
+                    self.iters_total += *iterations as u64;
+                    if *system == 3 {
+                        self.iters_poisson += *iterations as u64;
+                    }
+                }
+                LogicalEvent::Assembly { step: 0, rank, elements } => {
+                    self.elems.push((*rank, *elements as u64));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Assembly load balance L = mean/max — `cell_metrics`' formula.
+    pub fn lb_assembly(&self) -> f64 {
+        if self.elems.is_empty() {
+            1.0
+        } else {
+            let sum: u64 = self.elems.iter().map(|(_, e)| e).sum();
+            let max = self.elems.iter().map(|(_, e)| *e).max().unwrap_or(1).max(1);
+            sum as f64 / (self.elems.len() as f64 * max as f64)
+        }
+    }
+
+    fn render_elems(&self) -> String {
+        if self.elems.is_empty() {
+            return "-".to_string();
+        }
+        self.elems
+            .iter()
+            .map(|(r, e)| format!("{r}:{e}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    fn parse_elems(s: &str) -> Result<Vec<(usize, u64)>, String> {
+        if s == "-" {
+            return Ok(Vec::new());
+        }
+        s.split(',')
+            .map(|tok| {
+                let (r, e) = tok.split_once(':').ok_or_else(|| format!("bad elem {tok:?}"))?;
+                Ok((
+                    r.parse().map_err(|_| format!("bad rank in {tok:?}"))?,
+                    e.parse().map_err(|_| format!("bad count in {tok:?}"))?,
+                ))
+            })
+            .collect()
+    }
+}
+
+/// A cell parked mid-flight: accumulator + partial event text + the
+/// physics checkpoint, all digest-guarded in one file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellSnapshot {
+    pub job: u64,
+    pub cell: usize,
+    pub attempt: u32,
+    /// First step the resumed segment executes.
+    pub next_step: usize,
+    pub acc: CellAcc,
+    /// Golden event lines produced so far (newline-terminated).
+    pub events_text: String,
+    /// `Checkpoint::to_text` of the parked physics state.
+    pub checkpoint_text: String,
+}
+
+impl CellSnapshot {
+    pub fn to_text(&self) -> String {
+        let mut body = String::new();
+        writeln!(
+            body,
+            "meta job={} cell={} attempt={} next_step={}",
+            self.job, self.cell, self.attempt, self.next_step
+        )
+        .unwrap();
+        writeln!(
+            body,
+            "acc events={} iters={} itersp={} elems={}",
+            self.acc.events,
+            self.acc.iters_total,
+            self.acc.iters_poisson,
+            self.acc.render_elems(),
+        )
+        .unwrap();
+        writeln!(body, "events {}", self.events_text.lines().count()).unwrap();
+        body.push_str(&self.events_text);
+        writeln!(body, "checkpoint {}", self.checkpoint_text.lines().count()).unwrap();
+        body.push_str(&self.checkpoint_text);
+        format!("{SNAP_MAGIC}\ndigest {:016x}\n{body}", digest_bytes(body.as_bytes()))
+    }
+
+    /// Digest of the serialized snapshot — what the WAL `ckpt` record
+    /// pins, so replay can detect a snapshot file the crash tore.
+    pub fn digest(&self) -> u64 {
+        digest_bytes(self.to_text().as_bytes())
+    }
+
+    pub fn from_text(text: &str) -> Result<CellSnapshot, String> {
+        let total_lines = text.lines().count();
+        let bounded = |n: usize, what: &str| -> Result<usize, String> {
+            if n > total_lines {
+                Err(format!(
+                    "declared {what} count {n} exceeds the {total_lines} lines of input \
+                     (corrupt or hostile length prefix)"
+                ))
+            } else {
+                Ok(n)
+            }
+        };
+        let mut lines = text.lines();
+        match lines.next() {
+            Some(SNAP_MAGIC) => {}
+            other => return Err(format!("bad snapshot magic: {other:?}")),
+        }
+        let digest_line = lines.next().ok_or("missing digest line")?;
+        let stated = digest_line
+            .strip_prefix("digest ")
+            .and_then(|h| u64::from_str_radix(h, 16).ok())
+            .ok_or_else(|| format!("bad digest line {digest_line:?}"))?;
+        let body_at = text
+            .find("\ndigest ")
+            .and_then(|i| text[i + 1..].find('\n').map(|j| i + 1 + j + 1))
+            .ok_or("cannot locate snapshot body")?;
+        let body = &text[body_at..];
+        let actual = digest_bytes(body.as_bytes());
+        if stated != actual {
+            return Err(format!("snapshot digest mismatch: stated {stated:016x}, actual {actual:016x}"));
+        }
+
+        let meta = lines.next().ok_or("missing meta line")?;
+        let mut kv = std::collections::BTreeMap::new();
+        for tok in meta.strip_prefix("meta ").ok_or("bad meta line")?.split(' ') {
+            let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad meta token {tok:?}"))?;
+            kv.insert(k, v);
+        }
+        let meta_int = |k: &str| -> Result<u64, String> {
+            kv.get(k)
+                .ok_or_else(|| format!("meta missing {k}="))?
+                .parse()
+                .map_err(|e| format!("bad meta {k}: {e}"))
+        };
+        let (job, cell, attempt, next_step) = (
+            meta_int("job")?,
+            meta_int("cell")? as usize,
+            meta_int("attempt")? as u32,
+            meta_int("next_step")? as usize,
+        );
+
+        let acc_line = lines.next().ok_or("missing acc line")?;
+        let mut akv = std::collections::BTreeMap::new();
+        for tok in acc_line.strip_prefix("acc ").ok_or("bad acc line")?.split(' ') {
+            let (k, v) = tok.split_once('=').ok_or_else(|| format!("bad acc token {tok:?}"))?;
+            akv.insert(k, v);
+        }
+        let acc_int = |k: &str| -> Result<u64, String> {
+            akv.get(k)
+                .ok_or_else(|| format!("acc missing {k}="))?
+                .parse()
+                .map_err(|e| format!("bad acc {k}: {e}"))
+        };
+        let acc = CellAcc {
+            events: acc_int("events")?,
+            iters_total: acc_int("iters")?,
+            iters_poisson: acc_int("itersp")?,
+            elems: CellAcc::parse_elems(akv.get("elems").ok_or("acc missing elems=")?)?,
+        };
+
+        let mut read_section = |name: &str| -> Result<String, String> {
+            let header = lines.next().ok_or_else(|| format!("missing {name} section"))?;
+            let n: usize = header
+                .strip_prefix(name)
+                .and_then(|r| r.strip_prefix(' '))
+                .and_then(|r| r.parse().ok())
+                .ok_or_else(|| format!("bad {name} section header {header:?}"))?;
+            let n = bounded(n, name)?;
+            let mut out = String::new();
+            for i in 0..n {
+                let line =
+                    lines.next().ok_or_else(|| format!("{name} section truncated at line {i}"))?;
+                out.push_str(line);
+                out.push('\n');
+            }
+            Ok(out)
+        };
+        let events_text = read_section("events")?;
+        let checkpoint_text = read_section("checkpoint")?;
+        Ok(CellSnapshot { job, cell, attempt, next_step, acc, events_text, checkpoint_text })
+    }
+
+    /// Atomic, gated write (tmp+rename). `false` means the persistence
+    /// gate froze — the simulated crash ate this snapshot.
+    pub fn write(&self, path: &Path, gate: &PersistGate) -> bool {
+        if !gate.admit() {
+            return false;
+        }
+        let tmp = path.with_extension("snap.tmp");
+        let ok = std::fs::write(&tmp, self.to_text())
+            .and_then(|_| std::fs::rename(&tmp, path))
+            .is_ok();
+        if ok {
+            cfpd_telemetry::count!("serve.checkpoints");
+        }
+        ok
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CellSnapshot {
+        let mut acc = CellAcc::default();
+        acc.absorb(&[
+            LogicalEvent::Assembly { step: 0, rank: 0, elements: 120 },
+            LogicalEvent::Assembly { step: 0, rank: 1, elements: 100 },
+            LogicalEvent::Solve {
+                step: 0,
+                rank: 0,
+                system: 3,
+                iterations: 17,
+                residual_bits: 42,
+                converged: true,
+            },
+        ]);
+        CellSnapshot {
+            job: 3,
+            cell: 1,
+            attempt: 2,
+            next_step: 4,
+            acc,
+            events_text: "step 0 rank 0 assembly elements=120\nstep 0 rank 1 x\n".into(),
+            checkpoint_text: "cfpd checkpoint v1\nfake body line\n".into(),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let s = sample();
+        let text = s.to_text();
+        let back = CellSnapshot::from_text(&text).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(back.to_text(), text);
+        assert_eq!(back.acc.iters_total, 17);
+        assert_eq!(back.acc.iters_poisson, 17);
+        assert_eq!(back.acc.elems, vec![(0, 120), (1, 100)]);
+        assert!((back.acc.lb_assembly() - (220.0 / 240.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn corruption_and_hostile_prefixes_are_rejected() {
+        let s = sample();
+        let text = s.to_text();
+        // Flip one byte of the events payload: digest guard trips.
+        let bad = text.replace("elements=120", "elements=121");
+        assert!(CellSnapshot::from_text(&bad).unwrap_err().contains("digest mismatch"));
+        // Hostile section count: rejected by the bound, not an OOM.
+        // (Recompute the digest so only the length prefix is at fault.)
+        let hostile_body = text
+            .splitn(3, '\n')
+            .nth(2)
+            .unwrap()
+            .replace("events 2", "events 99999999999999");
+        let hostile = format!(
+            "{SNAP_MAGIC}\ndigest {:016x}\n{hostile_body}",
+            digest_bytes(hostile_body.as_bytes())
+        );
+        assert!(CellSnapshot::from_text(&hostile).unwrap_err().contains("exceeds"));
+        assert!(CellSnapshot::from_text("junk\n").unwrap_err().contains("magic"));
+    }
+
+    #[test]
+    fn gated_write_simulates_a_torn_disk() {
+        let dir = std::env::temp_dir().join(format!("cfpd-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cell.snap");
+        let s = sample();
+        let gate = PersistGate::kill_after(1);
+        assert!(s.write(&path, &gate));
+        assert!(!s.write(&path, &gate), "second write must hit the frozen gate");
+        let on_disk = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(CellSnapshot::from_text(&on_disk).unwrap(), s);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,523 @@
+//! The digest-guarded write-ahead log behind the job supervisor.
+//!
+//! Same hex-text discipline as the checkpoint codec
+//! (`cfpd_core::checkpoint`): line-oriented, human-readable, every
+//! record carrying an FNV-1a digest so replay can trust exactly the
+//! valid prefix and ignore a torn or corrupted tail. Format:
+//!
+//! ```text
+//! cfpd serve wal v1
+//! r <seq> <digest16> <kind> key=value ...
+//! ```
+//!
+//! `digest16` is `digest_bytes("{seq} {body}")`; `seq` starts at 1 and
+//! increments by one, so replay also detects spliced or reordered
+//! records. Free-form strings (names, failure reasons) are
+//! percent-encoded to keep the format strictly line- and
+//! space-delimited.
+//!
+//! All persistence — appends here, spec and snapshot files in
+//! [`crate::daemon`] — funnels through a [`PersistGate`], which the
+//! fault plan can freeze after N appends: from that instant nothing
+//! reaches disk, which is byte-for-byte what a `kill -9` at that point
+//! leaves behind. The crash-recovery sweep drives restarts through
+//! every cut point without ever killing the test process.
+
+use cfpd_testkit::digest_bytes;
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+pub const WAL_MAGIC: &str = "cfpd serve wal v1";
+
+/// Canonical metrics payload of a completed cell — everything the
+/// canonical campaign report renders per cell, so a replayed daemon
+/// reconstructs byte-identical results without re-running work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellDoneRec {
+    pub digest: u64,
+    pub events: u64,
+    pub iters_total: u64,
+    pub iters_poisson: u64,
+    /// active / deposited / escaped / lost.
+    pub census: [u64; 4],
+    pub deposited_frac_bits: u64,
+    pub lb_assembly_bits: u64,
+}
+
+/// One supervisor state transition.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// Job admitted; its spec text lives in `job-<id>.campaign` (written
+    /// before this record), pinned by `spec_digest`.
+    Submit { job: u64, name: String, spec_digest: u64 },
+    /// A worker started (or resumed) cell `cell` of the job.
+    Start { job: u64, cell: usize, attempt: u32 },
+    /// Segment boundary: snapshot `job-<id>-cell-<cell>.snap` persisted
+    /// (digest `snap_digest`), next unexecuted step is `step`.
+    Ckpt { job: u64, cell: usize, step: usize, snap_digest: u64 },
+    /// Cell finished; canonical metrics inline.
+    CellDone { job: u64, cell: usize, rec: CellDoneRec },
+    /// Cell failed terminally (retries exhausted / timeout).
+    CellFail { job: u64, cell: usize, reason: String },
+    /// Attempt failed; retrying after `backoff_ms`.
+    Retry { job: u64, cell: usize, attempt: u32, backoff_ms: u64, reason: String },
+    /// Job parked on its checkpoint (preemption or drain).
+    Preempt { job: u64, cell: usize },
+    Done { job: u64 },
+    Fail { job: u64, reason: String },
+    Cancel { job: u64 },
+}
+
+/// Percent-encode everything outside `[A-Za-z0-9._-]`.
+pub fn enc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for b in s.bytes() {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'-' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02x}")),
+        }
+    }
+    if out.is_empty() {
+        out.push('-'); // keep the token grid intact for empty strings
+    }
+    out
+}
+
+/// Inverse of [`enc`].
+pub fn dec(s: &str) -> Result<String, String> {
+    if s == "-" {
+        return Ok(String::new());
+    }
+    let mut out = Vec::with_capacity(s.len());
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hexpair = s
+                .get(i + 1..i + 3)
+                .ok_or_else(|| format!("truncated escape in {s:?}"))?;
+            out.push(
+                u8::from_str_radix(hexpair, 16)
+                    .map_err(|e| format!("bad escape %{hexpair}: {e}"))?,
+            );
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| format!("decoded {s:?} is not UTF-8"))
+}
+
+impl WalRecord {
+    /// The space-delimited record body (everything after the digest).
+    pub fn render_body(&self) -> String {
+        match self {
+            WalRecord::Submit { job, name, spec_digest } => {
+                format!("submit job={job} name={} spec={spec_digest:016x}", enc(name))
+            }
+            WalRecord::Start { job, cell, attempt } => {
+                format!("start job={job} cell={cell} attempt={attempt}")
+            }
+            WalRecord::Ckpt { job, cell, step, snap_digest } => {
+                format!("ckpt job={job} cell={cell} step={step} snap={snap_digest:016x}")
+            }
+            WalRecord::CellDone { job, cell, rec } => format!(
+                "celldone job={job} cell={cell} digest={:016x} events={} iters={} \
+                 itersp={} ca={} cd={} ce={} cl={} dfrac={:016x} lb={:016x}",
+                rec.digest,
+                rec.events,
+                rec.iters_total,
+                rec.iters_poisson,
+                rec.census[0],
+                rec.census[1],
+                rec.census[2],
+                rec.census[3],
+                rec.deposited_frac_bits,
+                rec.lb_assembly_bits,
+            ),
+            WalRecord::CellFail { job, cell, reason } => {
+                format!("cellfail job={job} cell={cell} reason={}", enc(reason))
+            }
+            WalRecord::Retry { job, cell, attempt, backoff_ms, reason } => format!(
+                "retry job={job} cell={cell} attempt={attempt} backoff_ms={backoff_ms} \
+                 reason={}",
+                enc(reason),
+            ),
+            WalRecord::Preempt { job, cell } => format!("preempt job={job} cell={cell}"),
+            WalRecord::Done { job } => format!("done job={job}"),
+            WalRecord::Fail { job, reason } => {
+                format!("fail job={job} reason={}", enc(reason))
+            }
+            WalRecord::Cancel { job } => format!("cancel job={job}"),
+        }
+    }
+
+    /// Parse a record body.
+    pub fn parse_body(body: &str) -> Result<WalRecord, String> {
+        let mut toks = body.split(' ');
+        let kind = toks.next().ok_or("empty record body")?;
+        let mut kv = std::collections::BTreeMap::new();
+        for tok in toks {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("token {tok:?} is not key=value"))?;
+            kv.insert(k, v);
+        }
+        let get = |k: &str| -> Result<&str, String> {
+            kv.get(k).copied().ok_or_else(|| format!("{kind}: missing {k}="))
+        };
+        let int = |k: &str| -> Result<u64, String> {
+            get(k)?.parse::<u64>().map_err(|e| format!("{kind}: bad {k}: {e}"))
+        };
+        let hex = |k: &str| -> Result<u64, String> {
+            u64::from_str_radix(get(k)?, 16).map_err(|e| format!("{kind}: bad {k}: {e}"))
+        };
+        Ok(match kind {
+            "submit" => WalRecord::Submit {
+                job: int("job")?,
+                name: dec(get("name")?)?,
+                spec_digest: hex("spec")?,
+            },
+            "start" => WalRecord::Start {
+                job: int("job")?,
+                cell: int("cell")? as usize,
+                attempt: int("attempt")? as u32,
+            },
+            "ckpt" => WalRecord::Ckpt {
+                job: int("job")?,
+                cell: int("cell")? as usize,
+                step: int("step")? as usize,
+                snap_digest: hex("snap")?,
+            },
+            "celldone" => WalRecord::CellDone {
+                job: int("job")?,
+                cell: int("cell")? as usize,
+                rec: CellDoneRec {
+                    digest: hex("digest")?,
+                    events: int("events")?,
+                    iters_total: int("iters")?,
+                    iters_poisson: int("itersp")?,
+                    census: [int("ca")?, int("cd")?, int("ce")?, int("cl")?],
+                    deposited_frac_bits: hex("dfrac")?,
+                    lb_assembly_bits: hex("lb")?,
+                },
+            },
+            "cellfail" => WalRecord::CellFail {
+                job: int("job")?,
+                cell: int("cell")? as usize,
+                reason: dec(get("reason")?)?,
+            },
+            "retry" => WalRecord::Retry {
+                job: int("job")?,
+                cell: int("cell")? as usize,
+                attempt: int("attempt")? as u32,
+                backoff_ms: int("backoff_ms")?,
+                reason: dec(get("reason")?)?,
+            },
+            "preempt" => {
+                WalRecord::Preempt { job: int("job")?, cell: int("cell")? as usize }
+            }
+            "done" => WalRecord::Done { job: int("job")? },
+            "fail" => WalRecord::Fail { job: int("job")?, reason: dec(get("reason")?)? },
+            "cancel" => WalRecord::Cancel { job: int("job")? },
+            other => return Err(format!("unknown record kind {other:?}")),
+        })
+    }
+}
+
+/// Freezes all persistence after a budgeted number of WAL appends —
+/// the crash simulator. `u64::MAX` budget means unlimited.
+#[derive(Debug)]
+pub struct PersistGate {
+    budget: AtomicU64,
+    frozen: AtomicBool,
+}
+
+impl PersistGate {
+    pub fn unlimited() -> Arc<PersistGate> {
+        Arc::new(PersistGate { budget: AtomicU64::new(u64::MAX), frozen: AtomicBool::new(false) })
+    }
+
+    /// Freeze after `n` more admitted appends (0 freezes immediately).
+    pub fn kill_after(n: u64) -> Arc<PersistGate> {
+        Arc::new(PersistGate { budget: AtomicU64::new(n), frozen: AtomicBool::new(false) })
+    }
+
+    pub fn frozen(&self) -> bool {
+        self.frozen.load(Ordering::Acquire)
+    }
+
+    /// Consume one persistence slot; `false` once frozen.
+    pub fn admit(&self) -> bool {
+        if self.frozen() {
+            return false;
+        }
+        let mut cur = self.budget.load(Ordering::Relaxed);
+        if cur == u64::MAX {
+            return true;
+        }
+        loop {
+            if cur == 0 {
+                self.frozen.store(true, Ordering::Release);
+                return false;
+            }
+            match self.budget.compare_exchange_weak(
+                cur,
+                cur - 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return true,
+                Err(now) => cur = now,
+            }
+        }
+    }
+}
+
+/// Append handle over the WAL file. Replay happens before opening
+/// ([`replay`]), which also truncates any corrupt tail so appends
+/// always extend a valid prefix.
+pub struct Wal {
+    file: Mutex<File>,
+    seq: AtomicU64,
+    gate: Arc<PersistGate>,
+}
+
+impl Wal {
+    /// Rewrite `path` to exactly the replayed valid prefix (atomic
+    /// tmp+rename) and open it for appending; `next_seq` continues the
+    /// record numbering.
+    pub fn open(
+        path: &Path,
+        valid_text: &str,
+        next_seq: u64,
+        gate: Arc<PersistGate>,
+    ) -> std::io::Result<Wal> {
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, format!("{WAL_MAGIC}\n{valid_text}"))?;
+        std::fs::rename(&tmp, path)?;
+        let file = OpenOptions::new().append(true).open(path)?;
+        Ok(Wal { file: Mutex::new(file), seq: AtomicU64::new(next_seq), gate })
+    }
+
+    /// Append one record. `false` means the gate is frozen (simulated
+    /// crash): nothing was written and nothing later will be.
+    pub fn append(&self, rec: &WalRecord) -> bool {
+        // Serialize concurrent appenders first so the gate's budget maps
+        // to a deterministic on-disk prefix.
+        let mut file = self.file.lock().unwrap();
+        if !self.gate.admit() {
+            return false;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let body = rec.render_body();
+        let digest = digest_bytes(format!("{seq} {body}").as_bytes());
+        let line = format!("r {seq} {digest:016x} {body}\n");
+        let ok = file.write_all(line.as_bytes()).and_then(|_| file.flush()).is_ok();
+        if ok {
+            cfpd_telemetry::count!("serve.wal_appends");
+        }
+        ok
+    }
+}
+
+/// Result of scanning a WAL file.
+pub struct Replay {
+    /// The valid prefix, in order.
+    pub records: Vec<WalRecord>,
+    /// Raw text of the valid records (header excluded) — [`Wal::open`]
+    /// rewrites the file to exactly this.
+    pub valid_text: String,
+    /// Sequence number the next append should use.
+    pub next_seq: u64,
+    /// Whether a corrupt/torn tail was discarded.
+    pub corrupt_tail: bool,
+}
+
+/// Scan a WAL file, stopping at the first record whose digest or
+/// sequence number does not verify. A missing file is an empty (fresh)
+/// log; a missing or wrong magic line discards everything.
+pub fn replay(path: &Path) -> Replay {
+    let text = std::fs::read_to_string(path).unwrap_or_default();
+    let mut records = Vec::new();
+    let mut valid_text = String::new();
+    let mut expected_seq = 1u64;
+    let mut corrupt_tail = false;
+    let mut lines = text.lines();
+    match lines.next() {
+        None => {}
+        Some(WAL_MAGIC) => {
+            for line in lines {
+                match verify_line(line, expected_seq) {
+                    Ok(rec) => {
+                        records.push(rec);
+                        valid_text.push_str(line);
+                        valid_text.push('\n');
+                        expected_seq += 1;
+                    }
+                    Err(_) => {
+                        corrupt_tail = true;
+                        break;
+                    }
+                }
+            }
+        }
+        Some(_) => corrupt_tail = true,
+    }
+    cfpd_telemetry::count!("serve.wal_replayed", records.len() as u64);
+    Replay { records, valid_text, next_seq: expected_seq, corrupt_tail }
+}
+
+fn verify_line(line: &str, expected_seq: u64) -> Result<WalRecord, String> {
+    let rest = line.strip_prefix("r ").ok_or("not a record line")?;
+    let (seq_tok, rest) = rest.split_once(' ').ok_or("missing digest")?;
+    let (digest_tok, body) = rest.split_once(' ').ok_or("missing body")?;
+    let seq: u64 = seq_tok.parse().map_err(|_| "bad seq")?;
+    if seq != expected_seq {
+        return Err(format!("sequence gap: expected {expected_seq}, found {seq}"));
+    }
+    let stated = u64::from_str_radix(digest_tok, 16).map_err(|_| "bad digest")?;
+    let actual = digest_bytes(format!("{seq} {body}").as_bytes());
+    if stated != actual {
+        return Err("record digest mismatch".to_string());
+    }
+    WalRecord::parse_body(body)
+}
+
+/// Spec file path for a job id.
+pub fn spec_path(dir: &Path, job: u64) -> PathBuf {
+    dir.join(format!("job-{job}.campaign"))
+}
+
+/// Snapshot file path for a (job, cell).
+pub fn snap_path(dir: &Path, job: u64, cell: usize) -> PathBuf {
+    dir.join(format!("job-{job}-cell-{cell}.snap"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Submit { job: 1, name: "tiny run #1".into(), spec_digest: 0xabc },
+            WalRecord::Start { job: 1, cell: 0, attempt: 0 },
+            WalRecord::Ckpt { job: 1, cell: 0, step: 2, snap_digest: 0xdef },
+            WalRecord::Retry {
+                job: 1,
+                cell: 0,
+                attempt: 1,
+                backoff_ms: 50,
+                reason: "injected: seeded crash (50%)".into(),
+            },
+            WalRecord::CellDone {
+                job: 1,
+                cell: 0,
+                rec: CellDoneRec {
+                    digest: 0x1122,
+                    events: 30,
+                    iters_total: 400,
+                    iters_poisson: 100,
+                    census: [10, 20, 30, 0],
+                    deposited_frac_bits: 0.25f64.to_bits(),
+                    lb_assembly_bits: 1.0f64.to_bits(),
+                },
+            },
+            WalRecord::CellFail { job: 1, cell: 1, reason: "timeout: exceeded 1s".into() },
+            WalRecord::Preempt { job: 1, cell: 2 },
+            WalRecord::Done { job: 1 },
+            WalRecord::Fail { job: 2, reason: "deadline exceeded".into() },
+            WalRecord::Cancel { job: 3 },
+        ]
+    }
+
+    #[test]
+    fn record_bodies_round_trip() {
+        for rec in sample_records() {
+            let body = rec.render_body();
+            assert_eq!(WalRecord::parse_body(&body).expect(&body), rec, "{body}");
+        }
+    }
+
+    #[test]
+    fn enc_dec_round_trips_hostile_strings() {
+        for s in ["", "plain", "with space", "näme\n=x%", "a=b c=d"] {
+            assert_eq!(dec(&enc(s)).unwrap(), s);
+        }
+        assert!(!enc("a b").contains(' '));
+        assert!(!enc("k=v").contains('='));
+    }
+
+    #[test]
+    fn append_replay_round_trips_and_detects_corruption() {
+        let dir = std::env::temp_dir().join(format!("cfpd-wal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+
+        let wal = Wal::open(&path, "", 1, PersistGate::unlimited()).unwrap();
+        let records = sample_records();
+        for rec in &records {
+            assert!(wal.append(rec));
+        }
+        drop(wal);
+        let rp = replay(&path);
+        assert_eq!(rp.records, records);
+        assert!(!rp.corrupt_tail);
+        assert_eq!(rp.next_seq, records.len() as u64 + 1);
+
+        // Flip one digest nibble in the middle: replay keeps the prefix.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(String::from).collect();
+        let mid = 1 + records.len() / 2;
+        lines[mid] = {
+            let mut l = lines[mid].clone();
+            let at = 10;
+            let orig = l.as_bytes()[at];
+            let flip = if orig == b'0' { '1' } else { '0' };
+            l.replace_range(at..at + 1, &flip.to_string());
+            l
+        };
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+        let rp = replay(&path);
+        assert!(rp.corrupt_tail);
+        assert!(rp.records.len() < records.len());
+        assert_eq!(rp.records[..], records[..rp.records.len()]);
+
+        // Reopening truncates the corrupt tail; appends extend cleanly.
+        let wal = Wal::open(&path, &rp.valid_text, rp.next_seq, PersistGate::unlimited())
+            .unwrap();
+        assert!(wal.append(&WalRecord::Done { job: 9 }));
+        drop(wal);
+        let rp2 = replay(&path);
+        assert!(!rp2.corrupt_tail);
+        assert_eq!(rp2.records.len(), rp.records.len() + 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn the_gate_freezes_the_log_mid_flight() {
+        let dir = std::env::temp_dir().join(format!("cfpd-gate-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("wal.log");
+        let _ = std::fs::remove_file(&path);
+
+        let gate = PersistGate::kill_after(2);
+        let wal = Wal::open(&path, "", 1, Arc::clone(&gate)).unwrap();
+        assert!(wal.append(&WalRecord::Done { job: 1 }));
+        assert!(wal.append(&WalRecord::Done { job: 2 }));
+        assert!(!wal.append(&WalRecord::Done { job: 3 }), "third append must freeze");
+        assert!(gate.frozen());
+        assert!(!wal.append(&WalRecord::Done { job: 4 }));
+        drop(wal);
+        let rp = replay(&path);
+        assert_eq!(rp.records.len(), 2, "disk holds exactly the pre-freeze prefix");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -151,6 +151,77 @@ impl TelemetrySnapshot {
         w.end_object();
         w.finish()
     }
+
+    /// Prometheus text exposition format (version 0.0.4).
+    ///
+    /// Renders from the same frozen, name-ordered snapshot as
+    /// [`Self::render_json`] — never from the live registry — so a
+    /// single snapshot taken under concurrent jobs yields one coherent,
+    /// deterministic document (no interleaved shard reads; two calls on
+    /// one snapshot are byte-identical). Metric names are prefixed with
+    /// `cfpd_` and sanitized to `[a-zA-Z0-9_]` (dots become
+    /// underscores). Histograms render as cumulative `_bucket` series
+    /// over the log2 bucket upper bounds plus the mandatory
+    /// `le="+Inf"`, `_sum` and `_count`.
+    pub fn render_prometheus(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            let mut out = String::with_capacity(name.len() + 5);
+            out.push_str("cfpd_");
+            for c in name.chars() {
+                out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+            }
+            out
+        }
+        let mut out = String::new();
+        let w = &mut out;
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            let _ = writeln!(w, "# TYPE {n} counter");
+            let _ = writeln!(w, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            let _ = writeln!(w, "# TYPE {n} gauge");
+            let _ = writeln!(w, "{n} {v}");
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            let _ = writeln!(w, "# TYPE {n} histogram");
+            // Cumulative counts at each non-empty bucket's inclusive
+            // upper bound; the final +Inf bucket always carries the
+            // total.
+            let mut cum = 0u64;
+            for (_, hi, c) in h.nonzero_buckets() {
+                cum += c;
+                if hi == u64::MAX {
+                    continue; // folded into +Inf below
+                }
+                let _ = writeln!(w, "{n}_bucket{{le=\"{hi}\"}} {cum}");
+            }
+            let _ = writeln!(w, "{n}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let _ = writeln!(w, "{n}_sum {}", h.sum);
+            let _ = writeln!(w, "{n}_count {}", h.count);
+        }
+        if let Some(pop) = &self.pop {
+            for (name, v) in [
+                ("cfpd_pop_ranks", pop.ranks as f64),
+                ("cfpd_pop_wall_time_seconds", pop.wall_time),
+                ("cfpd_pop_useful_time_seconds", pop.useful_time),
+                ("cfpd_pop_mpi_time_seconds", pop.mpi_time),
+                ("cfpd_pop_parallel_efficiency", pop.parallel_efficiency),
+                ("cfpd_pop_load_balance", pop.load_balance),
+                ("cfpd_pop_comm_efficiency", pop.comm_efficiency),
+            ] {
+                let _ = writeln!(w, "# TYPE {name} gauge");
+                let _ = writeln!(w, "{name} {v}");
+            }
+            let _ = writeln!(w, "# TYPE cfpd_pop_phase_seconds gauge");
+            for (phase, secs) in &pop.per_phase {
+                let _ = writeln!(w, "cfpd_pop_phase_seconds{{phase=\"{phase}\"}} {secs}");
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -198,6 +269,26 @@ mod tests {
         assert!(json.contains(r#""load_balance":0.75"#));
         assert!(json.contains(r#""b.zero":0"#), "zero counters kept in JSON");
         assert!(json.contains(r#""lo":4,"hi":7,"count":1"#));
+    }
+
+    #[test]
+    fn prometheus_render_is_deterministic_and_cumulative() {
+        let s = sample();
+        assert_eq!(s.render_prometheus(), s.render_prometheus());
+        let prom = s.render_prometheus();
+        // Dots sanitized, TYPE lines precede samples.
+        assert!(prom.contains("# TYPE cfpd_a_count counter\ncfpd_a_count 3\n"));
+        assert!(prom.contains("# TYPE cfpd_g_cores gauge\ncfpd_g_cores -2\n"));
+        // Histogram buckets are cumulative: bucket 1 ([1,1]) holds 2,
+        // bucket 3 ([4,7]) brings the running total to 3.
+        assert!(prom.contains("cfpd_h_wait_bucket{le=\"1\"} 2\n"));
+        assert!(prom.contains("cfpd_h_wait_bucket{le=\"7\"} 3\n"));
+        assert!(prom.contains("cfpd_h_wait_bucket{le=\"+Inf\"} 3\n"));
+        assert!(prom.contains("cfpd_h_wait_sum 7\n"));
+        assert!(prom.contains("cfpd_h_wait_count 3\n"));
+        assert!(prom.contains("cfpd_pop_parallel_efficiency 0.5\n"));
+        assert!(prom.contains("cfpd_pop_phase_seconds{phase=\"mpi\"} 3\n"));
+        assert!(prom.ends_with('\n'));
     }
 
     #[test]

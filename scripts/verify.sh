@@ -30,6 +30,10 @@
 #     is valid JSON and byte-identical across pool sizes, and `campaign
 #     report` of the small matrix against the blessed baseline
 #     (tests/golden/campaign_small.golden) reports zero regressions,
+#   * a serve smoke: `cfpd serve run` on an ephemeral port accepts the
+#     tiny campaign over HTTP, the served result is byte-identical to
+#     the direct `campaign run --json` output, `/metrics` passes the
+#     strict Prometheus lint, and `serve drain` checkpoints and exits 0,
 #   * a workspace-wide warning gate: every crate and every target must
 #     compile without a single compiler warning.
 set -euo pipefail
@@ -105,8 +109,10 @@ timeout 300 "$cfpd" golden --ranks 2 --trace "$tracedir/g" 2>/dev/null \
 test -s "$tracedir/g/trace.prv" || { echo "FAIL: golden --trace wrote no trace" >&2; exit 1; }
 
 echo "== campaign smoke (expand + run + report vs blessed baseline) =="
-timeout 120 "$cfpd" campaign expand examples/campaigns/tiny.campaign \
-    | grep -q "3 cells (4 before excludes)" \
+# Capture, then grep: `grep -q` closing the pipe early would EPIPE the
+# binary and trip pipefail even on a match.
+expand_out=$(timeout 120 "$cfpd" campaign expand examples/campaigns/tiny.campaign)
+grep -q "3 cells (4 before excludes)" <<<"$expand_out" \
     || { echo "FAIL: tiny campaign expansion drifted" >&2; exit 1; }
 timeout 300 "$cfpd" campaign run examples/campaigns/tiny.campaign --json > "$tracedir/tiny-a.json"
 timeout 300 "$cfpd" campaign run examples/campaigns/tiny.campaign --jobs 1 --json > "$tracedir/tiny-b.json"
@@ -117,6 +123,40 @@ python3 -m json.tool "$tracedir/tiny-a.json" >/dev/null \
 timeout 600 "$cfpd" campaign report examples/campaigns/small.campaign \
     --baseline tests/golden/campaign_small.golden >/dev/null \
     || { echo "FAIL: small campaign drifted from the blessed baseline" >&2; exit 1; }
+
+echo "== serve smoke (daemon lifecycle: submit, poll, result, metrics, drain) =="
+servedir="$tracedir/serve-data"
+timeout 300 "$cfpd" serve run --addr 127.0.0.1:0 --data "$servedir" \
+    > "$tracedir/serve.log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^cfpd-serve listening on //p' "$tracedir/serve.log")
+    [ -n "$addr" ] && break
+    kill -0 "$serve_pid" 2>/dev/null || { cat "$tracedir/serve.log"; echo "FAIL: serve daemon died on startup" >&2; exit 1; }
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "FAIL: serve daemon never reported its address" >&2; exit 1; }
+"$cfpd" serve submit examples/campaigns/tiny.campaign --addr "$addr" > "$tracedir/serve-submit.json"
+job=$(grep -o '"job":[0-9]*' "$tracedir/serve-submit.json" | head -1 | cut -d: -f2)
+[ -n "$job" ] || { echo "FAIL: serve submit returned no job id" >&2; exit 1; }
+done_seen=""
+for _ in $(seq 1 600); do
+    if "$cfpd" serve status "$job" --addr "$addr" | grep -q '"state":"done"'; then
+        done_seen=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$done_seen" ] || { echo "FAIL: served tiny campaign never reached done" >&2; exit 1; }
+"$cfpd" serve result "$job" --addr "$addr" > "$tracedir/serve-result.json"
+cmp -s "$tracedir/serve-result.json" "$tracedir/tiny-a.json" \
+    || { echo "FAIL: served result differs from the direct campaign run" >&2; exit 1; }
+"$cfpd" serve metrics --addr "$addr" --lint > /dev/null \
+    || { echo "FAIL: /metrics failed the strict Prometheus lint" >&2; exit 1; }
+"$cfpd" serve drain --addr "$addr" > /dev/null
+wait "$serve_pid" || { echo "FAIL: serve daemon did not drain cleanly" >&2; exit 1; }
+grep -q "cfpd-serve drained" "$tracedir/serve.log" \
+    || { echo "FAIL: drain did not complete" >&2; exit 1; }
 
 echo "== workspace warning gate =="
 find crates -name '*.rs' -path '*/src/*' -exec touch {} +

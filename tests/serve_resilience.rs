@@ -1,0 +1,463 @@
+//! Resilience suite for `cfpd serve` — the daemon's crash-safety,
+//! retry, preemption and overload contracts, exercised end-to-end over
+//! real HTTP against real daemons in-process.
+//!
+//! The headline property (mirroring `checkpoint_recovery.rs` one layer
+//! up): **kill the daemon at any persistence cut point, restart it from
+//! the leftovers, and the completed job's result is byte-identical to
+//! an uninterrupted run's** — the WAL replays, the snapshot resumes,
+//! and no work is silently lost or doubled.
+
+use cfpd_campaign::{run_campaign, CampaignSpec};
+use cfpd_serve::http::{http_call, http_call_raw};
+use cfpd_serve::{lint_prometheus, Daemon, ServeConfig, ServeFaultPlan};
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn campaign_text(name: &str, steps: usize) -> String {
+    format!(
+        "[campaign]\nname = {name}\n[scenario]\nranks = 2\ngenerations = 1\n\
+         particles = 40\nsteps = {steps}\n"
+    )
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("cfpd-resil-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+fn direct_json(text: &str) -> String {
+    let spec = CampaignSpec::from_text(text).unwrap();
+    run_campaign(&spec, Some(1)).render_json()
+}
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    http_call(addr, "GET", path, "").expect("daemon reachable")
+}
+
+fn submit(addr: &str, text: &str) -> u64 {
+    let (code, body) = http_call(addr, "POST", "/jobs", text).unwrap();
+    assert_eq!(code, 201, "{body}");
+    let v = cfpd_testkit::parse_json(&body).unwrap();
+    v.get("job").and_then(|j| j.as_u64()).expect("job id in response")
+}
+
+/// Poll a job to a terminal state; returns its final status body.
+fn poll_terminal(addr: &str, job: u64) -> String {
+    for _ in 0..1500 {
+        let (code, body) = get(addr, &format!("/jobs/{job}"));
+        assert_eq!(code, 200, "{body}");
+        for terminal in ["\"done\"", "\"failed\"", "\"cancelled\""] {
+            if body.contains(terminal) {
+                return body;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("job {job} never reached a terminal state");
+}
+
+fn result_of(addr: &str, job: u64) -> String {
+    let status = poll_terminal(addr, job);
+    assert!(status.contains("\"done\""), "job {job} not done: {status}");
+    let (code, body) = get(addr, &format!("/jobs/{job}/result"));
+    assert_eq!(code, 200, "{body}");
+    body
+}
+
+#[test]
+fn served_results_are_byte_identical_to_direct_runs() {
+    let text = format!(
+        "{}[matrix]\nlayout = default, opt\n",
+        campaign_text("identical", 2)
+    );
+    let dir = tmp_dir("identical");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &text);
+    assert_eq!(result_of(&addr, job), direct_json(&text));
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The tentpole: sweep the persistence cut point over the whole life of
+/// a job; at every cut, kill the daemon and restart from the leftovers.
+/// Every restart must converge to the same bytes, and at least one cut
+/// must resume mid-cell from a snapshot (proving the no-recomputation
+/// path runs, not just queued-from-scratch recovery).
+#[test]
+fn kill_and_restart_converges_from_every_persistence_cut() {
+    let text = campaign_text("killer", 4);
+    let expected = direct_json(&text);
+    let mut resumed_from: Vec<usize> = Vec::new();
+
+    for cut in 0..12u64 {
+        let dir = tmp_dir(&format!("kill-{cut}"));
+        let crashed = Daemon::start(ServeConfig {
+            data_dir: dir.clone(),
+            workers: 1,
+            http_threads: 1,
+            fault: ServeFaultPlan { freeze_wal_after: Some(cut), ..Default::default() },
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = crashed.addr().to_string();
+        let job = submit(&addr, &text);
+        // Run until the gate freezes (the simulated kill -9 instant) or
+        // the job outruns the cut and finishes.
+        for _ in 0..1500 {
+            if crashed.gate_frozen() {
+                break;
+            }
+            let (_, body) = get(&addr, &format!("/jobs/{job}"));
+            if body.contains("\"done\"") {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        crashed.kill();
+
+        // Restart from whatever reached disk.
+        let revived = Daemon::start(ServeConfig {
+            data_dir: dir.clone(),
+            workers: 1,
+            http_threads: 1,
+            ..Default::default()
+        })
+        .unwrap();
+        let addr = revived.addr().to_string();
+        let (code, status) = get(&addr, &format!("/jobs/{job}"));
+        let job = if code == 404 {
+            // The crash predated the WAL submit record: the job is
+            // simply gone, which is lost-request, not corruption.
+            submit(&addr, &text)
+        } else {
+            assert_eq!(code, 200, "{status}");
+            if let Some(v) = cfpd_testkit::parse_json(&status)
+                .ok()
+                .and_then(|v| v.get("resumed_step").and_then(|s| s.as_u64()))
+            {
+                assert!(v >= 1, "a recovered snapshot always has progress");
+                resumed_from.push(v as usize);
+            }
+            job
+        };
+        assert_eq!(
+            result_of(&addr, job),
+            expected,
+            "cut {cut}: restart did not converge to the uninterrupted bytes"
+        );
+        revived.kill();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert!(
+        !resumed_from.is_empty(),
+        "no cut in the sweep resumed from a mid-cell snapshot; the \
+         no-recomputation path was never exercised"
+    );
+}
+
+/// Mirror of the checkpoint codec's corruption sweep, for the WAL:
+/// truncations and bit flips never panic the replayer and never yield
+/// records past the damage.
+#[test]
+fn wal_truncation_and_bitflip_sweep_never_confuses_replay() {
+    use cfpd_serve::wal::{replay, Replay};
+
+    // Produce a real WAL by running a job to completion.
+    let text = campaign_text("waldonor", 3);
+    let dir = tmp_dir("waldonor");
+    let daemon =
+        Daemon::start(ServeConfig { data_dir: dir.clone(), ..Default::default() }).unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &text);
+    let _ = result_of(&addr, job);
+    daemon.kill();
+
+    let wal_path = dir.join("wal.log");
+    let pristine = std::fs::read_to_string(&wal_path).unwrap();
+    let full: Replay = replay(&wal_path);
+    assert!(!full.corrupt_tail);
+    assert!(full.records.len() >= 6, "expected a meaty WAL, got {}", full.records.len());
+
+    let scratch = dir.join("scratch.log");
+    // Truncations at every byte boundary of the last few records.
+    let tail_start = pristine.len().saturating_sub(200);
+    for cut in (tail_start..pristine.len()).step_by(7) {
+        std::fs::write(&scratch, &pristine[..cut]).unwrap();
+        let r = replay(&scratch);
+        assert!(r.records.len() <= full.records.len());
+        assert_eq!(r.records[..], full.records[..r.records.len()], "cut at byte {cut}");
+    }
+    // Bit flips sprinkled across the document.
+    for pos in (0..pristine.len()).step_by(97) {
+        let mut bytes = pristine.clone().into_bytes();
+        bytes[pos] ^= 0x01;
+        std::fs::write(&scratch, &bytes).unwrap();
+        let r = replay(&scratch); // must not panic
+        assert!(r.records.len() <= full.records.len(), "flip at byte {pos}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Seeded crash on every cell's first attempt: the retry path must
+/// kick in (with WAL'd backoff records) and still converge to the
+/// uninterrupted bytes.
+#[test]
+fn seeded_crashes_retry_and_still_produce_identical_bytes() {
+    let text = campaign_text("crashy", 3);
+    let dir = tmp_dir("crashy");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        backoff_base_ms: 1,
+        fault: ServeFaultPlan { crash_first_attempts: 1, ..Default::default() },
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &text);
+    let result = result_of(&addr, job);
+    assert_eq!(result, direct_json(&text), "retried job must match clean bytes");
+    let (_, status) = get(&addr, &format!("/jobs/{job}"));
+    let v = cfpd_testkit::parse_json(&status).unwrap();
+    assert!(
+        v.get("retries").and_then(|r| r.as_u64()).unwrap_or(0) >= 1,
+        "the crash must be visible as a retry: {status}"
+    );
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A cell that exhausts its retries fails *as a cell*; the job still
+/// completes and reports the failure in the canonical report.
+#[test]
+fn retry_exhaustion_fails_the_cell_not_the_daemon() {
+    let text = campaign_text("doomed", 2);
+    let dir = tmp_dir("doomed");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        retry_max: 1,
+        backoff_base_ms: 1,
+        fault: ServeFaultPlan { crash_first_attempts: 10, ..Default::default() },
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &text);
+    let status = poll_terminal(&addr, job);
+    assert!(status.contains("\"done\""), "job completes even with a dead cell: {status}");
+    assert!(status.contains("\"cells_failed\":1"), "{status}");
+    let (code, body) = get(&addr, &format!("/jobs/{job}/result"));
+    assert_eq!(code, 200);
+    assert!(body.contains("injected: seeded worker crash"), "{body}");
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint-backed preemption: on a one-slot node, a short job
+/// admitted behind a long one finishes first; the long job parks on a
+/// snapshot, resumes, and its bytes are unchanged.
+#[test]
+fn preemption_lets_a_short_job_jump_a_long_one_without_changing_bytes() {
+    let long_text = campaign_text("longjob", 30);
+    let short_text = campaign_text("shortjob", 1);
+    let dir = tmp_dir("preempt");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        http_threads: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+
+    let long_job = submit(&addr, &long_text);
+    // Wait until the long job actually holds the slot.
+    for _ in 0..500 {
+        let (_, body) = get(&addr, &format!("/jobs/{long_job}"));
+        if body.contains("\"running\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let short_job = submit(&addr, &short_text);
+
+    // The short job must finish while the long one is still live.
+    let _short_result = result_of(&addr, short_job);
+    let (_, long_status) = get(&addr, &format!("/jobs/{long_job}"));
+    assert!(
+        !long_status.contains("\"done\""),
+        "the long job should still be working when the short one finishes: {long_status}"
+    );
+
+    assert_eq!(
+        result_of(&addr, long_job),
+        direct_json(&long_text),
+        "preemption must not change the long job's bytes"
+    );
+    let (_, metrics) = get(&addr, "/metrics");
+    assert!(
+        metrics.contains("cfpd_serve_preemptions"),
+        "preemption must be observable on /metrics"
+    );
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Overload sheds with 503 + Retry-After instead of queueing without
+/// bound, and the shedding is visible on /metrics.
+#[test]
+fn overload_sheds_503_with_retry_after() {
+    let dir = tmp_dir("overload");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        queue_cap: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+
+    let long = campaign_text("occupier", 30);
+    let _job = submit(&addr, &long);
+    let raw = http_call_raw(&addr, "POST", "/jobs", &campaign_text("shed", 1)).unwrap();
+    assert!(raw.starts_with("HTTP/1.1 503"), "{raw}");
+    let raw_lower = raw.to_lowercase();
+    assert!(raw_lower.contains("retry-after:"), "shed response must carry Retry-After: {raw}");
+
+    let (code, metrics) = get(&addr, "/metrics");
+    assert_eq!(code, 200);
+    assert!(metrics.contains("cfpd_serve_jobs_shed"), "{metrics}");
+    assert!(metrics.contains("cfpd_serve_queue_depth"), "{metrics}");
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Per-job deadline budgets: an admitted job past its budget fails with
+/// a `deadline:` reason instead of running forever.
+#[test]
+fn job_deadlines_fail_overdue_jobs() {
+    let dir = tmp_dir("deadline");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        job_deadline: Some(Duration::ZERO),
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &campaign_text("late", 2));
+    let status = poll_terminal(&addr, job);
+    assert!(status.contains("\"failed\""), "{status}");
+    assert!(status.contains("deadline"), "{status}");
+    let (code, body) = get(&addr, &format!("/jobs/{job}/result"));
+    assert_eq!(code, 409, "{body}");
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cancellation: queued jobs cancel immediately; running jobs cancel at
+/// the next segment boundary.
+#[test]
+fn cancellation_is_honoured_at_segment_boundaries() {
+    let dir = tmp_dir("cancel");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        http_threads: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let running = submit(&addr, &campaign_text("victim", 30));
+    for _ in 0..500 {
+        let (_, body) = get(&addr, &format!("/jobs/{running}"));
+        if body.contains("\"running\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let queued = submit(&addr, &campaign_text("waiting", 30));
+
+    let (code, body) = http_call(&addr, "DELETE", &format!("/jobs/{queued}"), "").unwrap();
+    assert_eq!(code, 200, "queued job cancels immediately: {body}");
+    let (code, body) = http_call(&addr, "DELETE", &format!("/jobs/{running}"), "").unwrap();
+    assert_eq!(code, 202, "running job cancels at the next boundary: {body}");
+    let status = poll_terminal(&addr, running);
+    assert!(status.contains("\"cancelled\""), "{status}");
+    let (code, _) = http_call(&addr, "DELETE", &format!("/jobs/{running}"), "").unwrap();
+    assert_eq!(code, 409, "double cancel is a conflict");
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// /metrics is valid Prometheus exposition under the strict lint, with
+/// the supervisor's counters present.
+#[test]
+fn metrics_lint_clean_with_supervisor_series() {
+    let dir = tmp_dir("metrics");
+    let daemon =
+        Daemon::start(ServeConfig { data_dir: dir.clone(), ..Default::default() }).unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &campaign_text("observed", 2));
+    let _ = result_of(&addr, job);
+    let (code, metrics) = get(&addr, "/metrics");
+    assert_eq!(code, 200);
+    let samples = lint_prometheus(&metrics).expect("metrics must lint clean");
+    assert!(samples > 10, "expected a rich document, got {samples} samples");
+    for series in [
+        "cfpd_serve_jobs_submitted",
+        "cfpd_serve_jobs_done",
+        "cfpd_serve_checkpoints",
+        "cfpd_serve_wal_appends",
+        "cfpd_serve_queue_depth",
+        "cfpd_serve_state_done",
+    ] {
+        assert!(metrics.contains(series), "missing {series}");
+    }
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Drain: running jobs park on their checkpoints, the daemon exits, and
+/// a fresh daemon on the same data dir resumes them to the same bytes.
+#[test]
+fn drain_parks_running_jobs_and_a_restart_finishes_them() {
+    let text = campaign_text("drainee", 30);
+    let dir = tmp_dir("drain");
+    let daemon = Daemon::start(ServeConfig {
+        data_dir: dir.clone(),
+        workers: 1,
+        http_threads: 1,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &text);
+    for _ in 0..500 {
+        let (_, body) = get(&addr, &format!("/jobs/{job}"));
+        if body.contains("\"running\"") {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let (code, body) = http_call(&addr, "POST", "/drain", "").unwrap();
+    assert_eq!((code, body.as_str()), (200, "draining\n"));
+    daemon.join(); // graceful: returns once workers have parked
+
+    let revived =
+        Daemon::start(ServeConfig { data_dir: dir.clone(), ..Default::default() }).unwrap();
+    let addr = revived.addr().to_string();
+    let (code, status) = get(&addr, &format!("/jobs/{job}"));
+    assert_eq!(code, 200, "{status}");
+    assert_eq!(result_of(&addr, job), direct_json(&text));
+    revived.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
