@@ -1,11 +1,20 @@
 //! Locality hot-path benchmark: default vs `LayoutPlan`-optimized
 //! assembly, SpMV and pressure CG on the airway mesh, plus the RCM
-//! bandwidth reduction — the before/after evidence for DESIGN.md §9.
+//! bandwidth reduction — the before/after evidence for DESIGN.md §9
+//! and the raw-speed pass of §14.
 //!
 //! Writes the usual text table to `results/BENCH_hotpath.txt` and a
 //! machine-readable `results/BENCH_hotpath.json` (per-routine name,
-//! median ns, timed iterations, element count) so later PRs have a
-//! perf trajectory to diff against.
+//! median ns, timed iterations, element count). The JSON additionally
+//! carries a `"phases"` section (per-phase default vs opt medians for
+//! SpMV, Jacobi apply, axpy/dot, SGS sweep and assembly) and an
+//! `"end_to_end"` section (assembly + fixed-work CG, the tentpole
+//! speedup metric), so later PRs have a perf trajectory to diff
+//! against.
+//!
+//! Full (non-`--quick`) runs refuse to overwrite a committed
+//! `BENCH_hotpath.json` whose end-to-end numbers would regress by more
+//! than 10%, unless `CFPD_BLESS_BENCH=1` — the bench-trajectory gate.
 //!
 //! `--quick` shrinks the mesh and sample count for the CI smoke in
 //! `scripts/verify.sh`.
@@ -18,16 +27,21 @@ use cfpd_mesh::{generate_airway, AirwaySpec, Mesh, Vec3};
 use cfpd_partition::{bandwidth_under_perm, csr_bandwidth, rcm_perm};
 use cfpd_runtime::ThreadPool;
 use cfpd_solver::{
-    assemble_momentum, assemble_momentum_batched, assemble_poisson, cg, cg_fused, cg_parallel,
-    AssemblyPlan, AssemblyStrategy, CsrMatrix, FluidProps, RefElement,
+    assemble_momentum, assemble_momentum_batched, assemble_poisson, axpy_dot_fused, cg, cg_fused,
+    cg_fused_sell, cg_parallel, compute_sgs, AssemblyPlan, AssemblyStrategy, CsrMatrix,
+    FluidProps, MatFreeMomentum, RefElement, SellMatrix, SgsField,
 };
 use cfpd_testkit::bench::{Bench, BenchConfig, BenchStats};
+use cfpd_testkit::json;
 
 const N_SUBDOMAINS: usize = 16;
 /// Fixed CG iteration count: every solver variant does identical work
 /// per sample (Jacobi-CG at 1e-6 would need thousands of iterations on
 /// the figure mesh — a fixed-work solve is the comparable benchmark).
 const CG_ITERS: usize = 150;
+/// Chunk count for the standalone axpy/dot phase benches (mirrors the
+/// fused CG's nnz-balanced splitting).
+const AXPY_CHUNKS: usize = 64;
 
 fn synthetic_velocity(mesh: &Mesh) -> Vec<Vec3> {
     mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect()
@@ -59,11 +73,22 @@ fn bench_assembly(b: &mut Bench, mesh: &Mesh, pool: &ThreadPool) {
     let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
     let zero_p = vec![0.0; mesh.num_nodes()];
     let plan_default = AssemblyPlan::new(mesh, elems.clone(), AssemblyStrategy::Multidep, N_SUBDOMAINS);
-    let plan_batched =
+    let plan_batched = AssemblyPlan::with_batches(
+        mesh,
+        elems.clone(),
+        AssemblyStrategy::Multidep,
+        N_SUBDOMAINS,
+        &template,
+    );
+    let mut plan_lanes =
         AssemblyPlan::with_batches(mesh, elems, AssemblyStrategy::Multidep, N_SUBDOMAINS, &template);
+    plan_lanes.lane_kernels = true;
 
-    for (label, batched) in [("assembly/default", false), ("assembly/batched", true)] {
-        let plan = if batched { &plan_batched } else { &plan_default };
+    for (label, plan, batched) in [
+        ("assembly/default", &plan_default, false),
+        ("assembly/batched", &plan_batched, true),
+        ("assembly/batched-lanes", &plan_lanes, true),
+    ] {
         let f = if batched { assemble_momentum_batched } else { assemble_momentum };
         b.bench_batched(
             label,
@@ -102,10 +127,18 @@ fn bench_spmv_and_cg(
         matrix.spmv(black_box(&x), &mut y);
         black_box(y);
     });
+    let mut sell = SellMatrix::from_csr(matrix);
+    sell.update_values(&matrix.values);
+    b.bench(&format!("spmv-sell/{label}"), || {
+        let mut y = vec![0.0; n];
+        sell.spmv(black_box(&x), &mut y);
+        black_box(y);
+    });
     for (solver, name) in [
         ("serial", format!("cg-serial/{label}")),
         ("parallel", format!("cg-parallel/{label}")),
         ("fused", format!("cg-fused/{label}")),
+        ("sell", format!("cg-sell/{label}")),
     ] {
         b.bench_batched(
             &name,
@@ -114,7 +147,8 @@ fn bench_spmv_and_cg(
                 let stats = match solver {
                     "serial" => cg(matrix, rhs, &mut x, 0.0, CG_ITERS),
                     "parallel" => cg_parallel(matrix, rhs, &mut x, 0.0, CG_ITERS, pool),
-                    _ => cg_fused(matrix, rhs, &mut x, 0.0, CG_ITERS, pool),
+                    "fused" => cg_fused(matrix, rhs, &mut x, 0.0, CG_ITERS, pool),
+                    _ => cg_fused_sell(matrix, &sell, rhs, &mut x, 0.0, CG_ITERS, pool),
                 };
                 assert_eq!(stats.iterations, CG_ITERS, "{name} did unequal work");
                 assert!(stats.residual.is_finite());
@@ -124,8 +158,176 @@ fn bench_spmv_and_cg(
     }
 }
 
+/// Standalone per-phase kernels outside a full CG run: Jacobi apply,
+/// axpy/dot (split vs fused), the SGS sweep (default vs kind-batched)
+/// and the matrix-free momentum pipeline.
+fn bench_phases(b: &mut Bench, mesh: &Mesh, matrix: &CsrMatrix, pool: &ThreadPool) {
+    let n = matrix.n;
+    let diag = matrix.diagonal();
+    let r: Vec<f64> = (0..n).map(|i| (i as f64 * 0.61).cos()).collect();
+    b.bench("jacobi/apply", || {
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let d = diag[i];
+            z[i] = if d.abs() > 1e-300 { black_box(r[i]) / d } else { r[i] };
+        }
+        black_box(z);
+    });
+
+    let chunk = n.div_ceil(AXPY_CHUNKS).max(1);
+    let ranges: Vec<std::ops::Range<usize>> =
+        (0..n).step_by(chunk).map(|lo| lo..(lo + chunk).min(n)).collect();
+    b.bench_batched(
+        "axpy-dot/split",
+        || r.clone(),
+        |mut y| {
+            let alpha = 0.3;
+            for i in 0..n {
+                y[i] += alpha * r[i];
+            }
+            let mut acc = 0.0;
+            for yi in &y {
+                acc += yi * yi;
+            }
+            black_box((y, acc));
+        },
+    );
+    b.bench_batched(
+        "axpy-dot/fused",
+        || r.clone(),
+        |mut y| {
+            let acc = axpy_dot_fused(pool, &ranges, 0.3, &r, &mut y);
+            black_box((y, acc));
+        },
+    );
+
+    // SGS sweep: default element-loop scheduling vs kind-batched SoA.
+    let refs = RefElement::all();
+    let velocity = synthetic_velocity(mesh);
+    let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+    let plan_default =
+        AssemblyPlan::new(mesh, elems.clone(), AssemblyStrategy::Multidep, N_SUBDOMAINS);
+    let mut plan_batched =
+        AssemblyPlan::new(mesh, elems.clone(), AssemblyStrategy::Multidep, N_SUBDOMAINS);
+    plan_batched.batched_sgs = true;
+    let mut field_default = SgsField::new(mesh);
+    let mut field_batched = SgsField::new(mesh);
+    b.bench("sgs/default", || {
+        let stats = compute_sgs(
+            pool, &refs, mesh, &plan_default, &velocity, FluidProps::default(),
+            &mut field_default, 5, 1e-6,
+        );
+        black_box(stats.elements);
+    });
+    b.bench("sgs/batched", || {
+        let stats = compute_sgs(
+            pool, &refs, mesh, &plan_batched, &velocity, FluidProps::default(),
+            &mut field_batched, 5, 1e-6,
+        );
+        black_box(stats.elements);
+    });
+
+    // Matrix-free momentum: assemble-lite (no CSR scatter) + apply.
+    let n2e = mesh.node_to_elements();
+    let pattern = CsrMatrix::from_mesh(mesh, &n2e);
+    let mut mf = MatFreeMomentum::new(mesh, &pattern, &elems);
+    let zero_p = vec![0.0; n];
+    b.bench("matfree/assemble", || {
+        let mut rhs = vec![vec![0.0; n]; 3];
+        mf.assemble(
+            &refs, mesh, &velocity, &zero_p, FluidProps::default(), 1e-4,
+            Vec3::new(0.0, 0.0, -9.81), &mut rhs,
+        );
+        black_box(rhs.len());
+    });
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin()).collect();
+    b.bench("matfree/apply", || {
+        let mut y = vec![0.0; n];
+        mf.apply(black_box(&x), &mut y);
+        black_box(y);
+    });
+}
+
+fn median_ns(rows: &[(String, BenchStats)], name: &str) -> f64 {
+    rows.iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, s)| s.median * 1e9)
+        .unwrap_or_else(|| panic!("bench row {name} missing"))
+}
+
+/// The per-phase default→opt mapping surfaced in the JSON and report.
+const PHASES: [(&str, &str, &str); 5] = [
+    ("spmv", "spmv/native-order", "spmv-sell/rcm-order"),
+    ("jacobi", "jacobi/apply", "jacobi/apply"),
+    ("axpy_dot", "axpy-dot/split", "axpy-dot/fused"),
+    ("sgs", "sgs/default", "sgs/batched"),
+    ("assembly", "assembly/default", "assembly/batched-lanes"),
+];
+
+struct EndToEnd {
+    default_ns: f64,
+    opt_ns: f64,
+}
+
+fn end_to_end(rows: &[(String, BenchStats)]) -> EndToEnd {
+    EndToEnd {
+        default_ns: median_ns(rows, "assembly/default") + median_ns(rows, "cg-serial/native-order"),
+        opt_ns: median_ns(rows, "assembly/batched-lanes") + median_ns(rows, "cg-sell/rcm-order"),
+    }
+}
+
+/// Bench-trajectory gate: against the committed `BENCH_hotpath.json`,
+/// refuse a >10% end-to-end regression unless `CFPD_BLESS_BENCH=1`.
+/// A committed file with the pre-phase schema (no `end_to_end` key)
+/// allows the overwrite — that is the schema migration itself.
+fn trajectory_gate(e2e: &EndToEnd) {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_hotpath.json");
+    let Ok(text) = std::fs::read_to_string(&path) else {
+        return;
+    };
+    let Ok(doc) = json::parse(&text) else {
+        eprintln!("trajectory gate: committed BENCH_hotpath.json unparsable; allowing overwrite");
+        return;
+    };
+    let Some(old) = doc.get("end_to_end") else {
+        eprintln!("trajectory gate: committed schema predates phases; allowing overwrite");
+        return;
+    };
+    let mut regressions = Vec::new();
+    for (key, new_ns) in [("default_ns", e2e.default_ns), ("opt_ns", e2e.opt_ns)] {
+        if let Some(old_ns) = old.get(key).and_then(|v| v.as_f64()) {
+            if new_ns > old_ns * 1.10 {
+                regressions.push(format!(
+                    "{key}: {:.1} ms -> {:.1} ms (+{:.0}%)",
+                    old_ns / 1e6,
+                    new_ns / 1e6,
+                    (new_ns / old_ns - 1.0) * 100.0
+                ));
+            }
+        }
+    }
+    if regressions.is_empty() {
+        return;
+    }
+    if std::env::var("CFPD_BLESS_BENCH").as_deref() == Ok("1") {
+        eprintln!(
+            "trajectory gate: CFPD_BLESS_BENCH=1, blessing regression: {}",
+            regressions.join("; ")
+        );
+        return;
+    }
+    eprintln!(
+        "trajectory gate: refusing to overwrite BENCH_hotpath.json with >10% end-to-end \
+         regression ({}); rerun with CFPD_BLESS_BENCH=1 to bless",
+        regressions.join("; ")
+    );
+    std::process::exit(1);
+}
+
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     rows: &[(String, BenchStats)],
+    e2e: &EndToEnd,
     elements: usize,
     nodes: usize,
     bw_before: usize,
@@ -137,6 +339,22 @@ fn write_json(
     body.push_str(&format!("  \"elements\": {elements},\n  \"nodes\": {nodes},\n"));
     body.push_str(&format!(
         "  \"rcm\": {{ \"bandwidth_before\": {bw_before}, \"bandwidth_after\": {bw_after} }},\n"
+    ));
+    body.push_str("  \"phases\": {\n");
+    for (i, (phase, d, o)) in PHASES.iter().enumerate() {
+        let sep = if i + 1 == PHASES.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{phase}\": {{ \"default_ns\": {:.0}, \"opt_ns\": {:.0} }}{sep}\n",
+            median_ns(rows, d),
+            median_ns(rows, o)
+        ));
+    }
+    body.push_str("  },\n");
+    body.push_str(&format!(
+        "  \"end_to_end\": {{ \"default_ns\": {:.0}, \"opt_ns\": {:.0}, \"speedup\": {:.2} }},\n",
+        e2e.default_ns,
+        e2e.opt_ns,
+        e2e.default_ns / e2e.opt_ns
     ));
     let flat: Vec<(String, f64, usize, usize)> = rows
         .iter()
@@ -184,12 +402,43 @@ fn main() {
     bench_spmv_and_cg(&mut b, "native-order", &m_native, &rhs_native, &pool);
     let (m_rcm, rhs_rcm) = pressure_system(&mesh_rcm, &pool);
     bench_spmv_and_cg(&mut b, "rcm-order", &m_rcm, &rhs_rcm, &pool);
+    bench_phases(&mut b, &mesh, &m_native, &pool);
+
+    let e2e = end_to_end(b.rows());
+    if !quick {
+        trajectory_gate(&e2e);
+    }
 
     let mut report = b.report();
     report.push_str(&format!(
         "\nRCM bandwidth on this mesh: {bw_before} -> {bw_after} ({}x reduction)\n",
         bw_before as f64 / bw_after.max(1) as f64
     ));
+    report.push_str("\nper-phase breakdown (median, default -> opt):\n");
+    for (phase, d, o) in PHASES {
+        let dn = median_ns(b.rows(), d);
+        let on = median_ns(b.rows(), o);
+        report.push_str(&format!(
+            "  {phase:<9} {:>12.1} us -> {:>12.1} us ({:.2}x)  [{d} -> {o}]\n",
+            dn / 1e3,
+            on / 1e3,
+            dn / on.max(1.0)
+        ));
+    }
+    report.push_str(&format!(
+        "\nend-to-end (assembly + {CG_ITERS}-iter CG): {:.1} ms -> {:.1} ms ({:.2}x)\n",
+        e2e.default_ns / 1e6,
+        e2e.opt_ns / 1e6,
+        e2e.default_ns / e2e.opt_ns
+    ));
     emit(name, &report);
-    write_json(b.rows(), mesh.num_elements(), mesh.num_nodes(), bw_before, bw_after, quick);
+    write_json(
+        b.rows(),
+        &e2e,
+        mesh.num_elements(),
+        mesh.num_nodes(),
+        bw_before,
+        bw_after,
+        quick,
+    );
 }

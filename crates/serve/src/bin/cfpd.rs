@@ -207,6 +207,8 @@ fn cmd_serve(args: &[String]) {
             "usage: cfpd serve run [--addr HOST:PORT] [--data DIR] [--workers N]\n\
              \x20         [--queue-cap N] [--ckpt-interval STEPS] [--cell-timeout SECS]\n\
              \x20         [--retry-max N] [--deadline SECS] [--http-threads N]\n\
+             \x20         [--fault-seed S] [--fault-crash-first N] [--fault-crash-per-mille X]\n\
+             \x20         [--fault-stall-first N] [--fault-stall-ms MS] [--fault-freeze-wal-after N]\n\
              \x20      cfpd serve submit FILE --addr HOST:PORT\n\
              \x20      cfpd serve status JOB --addr HOST:PORT\n\
              \x20      cfpd serve result JOB --addr HOST:PORT\n\
@@ -219,6 +221,22 @@ fn cmd_serve(args: &[String]) {
 
     if verb == "run" {
         let flags = Flags::parse(&args[2.min(args.len())..]);
+        // Seeded fault injection (off unless asked for): the same plan
+        // the resilience suite drives in-process, exposed so a daemon
+        // under external test can replay a chaos scenario from its seed.
+        let fault = ServeFaultPlan {
+            seed: flags.usize_or("--fault-seed", 0) as u64,
+            crash_first_attempts: flags.usize_or("--fault-crash-first", 0) as u32,
+            crash_per_mille: flags.usize_or("--fault-crash-per-mille", 0) as u16,
+            stall_first_attempts: flags.usize_or("--fault-stall-first", 0) as u32,
+            stall_ms: flags.usize_or("--fault-stall-ms", 0) as u64,
+            freeze_wal_after: flags.get("--fault-freeze-wal-after").map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("--fault-freeze-wal-after: invalid count {v:?}");
+                    std::process::exit(2);
+                })
+            }),
+        };
         let cfg = ServeConfig {
             addr: flags.get("--addr").unwrap_or("127.0.0.1:0").to_string(),
             data_dir: PathBuf::from(flags.get("--data").unwrap_or("serve-data")),
@@ -230,7 +248,7 @@ fn cmd_serve(args: &[String]) {
             backoff_base_ms: flags.usize_or("--backoff-ms", 25) as u64,
             job_deadline: parse_secs_flag(&flags, "--deadline"),
             http_threads: flags.usize_or("--http-threads", 2),
-            fault: ServeFaultPlan::default(),
+            fault,
         };
         let daemon = Daemon::start(cfg).unwrap_or_else(|e| {
             eprintln!("serve run: {e}");

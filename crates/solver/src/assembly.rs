@@ -71,6 +71,14 @@ pub struct AssemblyPlan {
     /// Kind-batched SoA schedule (opt-in `LayoutPlan`): one batch set
     /// per parallel unit of the strategy.
     batches: Option<crate::batch::BatchSchedule>,
+    /// Evaluate batched element kernels [`crate::lanes::LANES`] elements
+    /// at a time over lane-SoA scratch (bit-identical per element; see
+    /// [`crate::lanes`]). Only consulted by the batched paths.
+    pub lane_kernels: bool,
+    /// Run SGS sweeps through the kind-batched cached-gather schedule
+    /// instead of the per-element strategy loop (bit-identical — SGS
+    /// elements are mutually independent).
+    pub batched_sgs: bool,
 }
 
 /// Counters describing one assembly execution, consumed by the
@@ -109,6 +117,8 @@ impl AssemblyPlan {
             subdomains: None,
             grain: 32,
             batches: None,
+            lane_kernels: false,
+            batched_sgs: false,
             elems,
         };
         match strategy {

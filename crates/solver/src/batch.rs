@@ -25,6 +25,7 @@ use crate::csr::{AtomicView, CsrMatrix, DisjointView};
 use crate::kernels::{
     momentum_kernel_n, poisson_kernel_n, ElementScratch, FluidProps, LocalMomentum, LocalPoisson,
 };
+use crate::lanes::{momentum_kernel_lanes, poisson_kernel_lanes, LaneScratch, LANES};
 use crate::shape::RefElement;
 use cfpd_mesh::{ElementKind, Mesh, Vec3};
 use cfpd_runtime::{parallel_for, Dep, TaskGraph, ThreadPool};
@@ -188,9 +189,35 @@ struct MomentumCtx<'a> {
     props: FluidProps,
     dt: f64,
     body_force: Vec3,
+    lanes: bool,
 }
 
 impl MomentumCtx<'_> {
+    fn run_one<const NN: usize, S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        b: usize,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    ) {
+        let re = &self.refs[RefElement::index_of(batch.kind)];
+        let nodes = &batch.gather[b * NN..(b + 1) * NN];
+        scratch.load_gather_with_pressure(self.coords, self.velocity, self.pressure, nodes);
+        let lm: LocalMomentum =
+            momentum_kernel_n::<NN>(re, scratch, self.props, self.dt, batch.h[b], self.body_force)
+                .expect("degenerate element");
+        let sc = &batch.scatter[b * NN * NN..(b + 1) * NN * NN];
+        for i in 0..NN {
+            for j in 0..NN {
+                sink.add_matrix(sc[i * NN + j] as usize, lm.a[i][j]);
+            }
+            let gi = nodes[i] as usize;
+            for c in 0..3 {
+                sink.add_rhs(c, gi, lm.b[i][c]);
+            }
+        }
+    }
+
     fn run_n<const NN: usize, S: ScatterSink>(
         &self,
         batch: &KindBatch,
@@ -198,23 +225,43 @@ impl MomentumCtx<'_> {
         scratch: &mut ElementScratch,
         sink: &S,
     ) {
-        let re = &self.refs[RefElement::index_of(batch.kind)];
-        for b in range {
-            let nodes = &batch.gather[b * NN..(b + 1) * NN];
-            scratch.load_gather_with_pressure(self.coords, self.velocity, self.pressure, nodes);
-            let lm: LocalMomentum =
-                momentum_kernel_n::<NN>(re, scratch, self.props, self.dt, batch.h[b], self.body_force)
+        let mut b = range.start;
+        if self.lanes {
+            let re = &self.refs[RefElement::index_of(batch.kind)];
+            let mut ls = LaneScratch::default();
+            while b + LANES <= range.end {
+                ls.load(
+                    self.coords,
+                    self.velocity,
+                    Some(self.pressure),
+                    &batch.gather,
+                    &batch.h,
+                    NN,
+                    b,
+                );
+                let lm = momentum_kernel_lanes::<NN>(re, &ls, self.props, self.dt, self.body_force)
                     .expect("degenerate element");
-            let sc = &batch.scatter[b * NN * NN..(b + 1) * NN * NN];
-            for i in 0..NN {
-                for j in 0..NN {
-                    sink.add_matrix(sc[i * NN + j] as usize, lm.a[i][j]);
+                // Scatter lane-by-lane in element order: the adds land
+                // in the same sequence as the scalar loop.
+                for l in 0..LANES {
+                    let bb = b + l;
+                    let nodes = &batch.gather[bb * NN..(bb + 1) * NN];
+                    let sc = &batch.scatter[bb * NN * NN..(bb + 1) * NN * NN];
+                    for i in 0..NN {
+                        for j in 0..NN {
+                            sink.add_matrix(sc[i * NN + j] as usize, lm.a[i][j][l]);
+                        }
+                        let gi = nodes[i] as usize;
+                        for c in 0..3 {
+                            sink.add_rhs(c, gi, lm.b[i][c][l]);
+                        }
+                    }
                 }
-                let gi = nodes[i] as usize;
-                for c in 0..3 {
-                    sink.add_rhs(c, gi, lm.b[i][c]);
-                }
+                b += LANES;
             }
+        }
+        for bb in b..range.end {
+            self.run_one::<NN, S>(batch, bb, scratch, sink);
         }
     }
 }
@@ -242,9 +289,31 @@ struct PoissonCtx<'a> {
     velocity: &'a [Vec3],
     props: FluidProps,
     dt: f64,
+    lanes: bool,
 }
 
 impl PoissonCtx<'_> {
+    fn run_one<const NN: usize, S: ScatterSink>(
+        &self,
+        batch: &KindBatch,
+        b: usize,
+        scratch: &mut ElementScratch,
+        sink: &S,
+    ) {
+        let re = &self.refs[RefElement::index_of(batch.kind)];
+        let nodes = &batch.gather[b * NN..(b + 1) * NN];
+        scratch.load_gather(self.coords, self.velocity, nodes);
+        let lp: LocalPoisson =
+            poisson_kernel_n::<NN>(re, scratch, self.props, self.dt).expect("degenerate element");
+        let sc = &batch.scatter[b * NN * NN..(b + 1) * NN * NN];
+        for i in 0..NN {
+            for j in 0..NN {
+                sink.add_matrix(sc[i * NN + j] as usize, lp.l[i][j]);
+            }
+            sink.add_rhs(0, nodes[i] as usize, lp.b[i]);
+        }
+    }
+
     fn run_n<const NN: usize, S: ScatterSink>(
         &self,
         batch: &KindBatch,
@@ -252,19 +321,30 @@ impl PoissonCtx<'_> {
         scratch: &mut ElementScratch,
         sink: &S,
     ) {
-        let re = &self.refs[RefElement::index_of(batch.kind)];
-        for b in range {
-            let nodes = &batch.gather[b * NN..(b + 1) * NN];
-            scratch.load_gather(self.coords, self.velocity, nodes);
-            let lp: LocalPoisson = poisson_kernel_n::<NN>(re, scratch, self.props, self.dt)
-                .expect("degenerate element");
-            let sc = &batch.scatter[b * NN * NN..(b + 1) * NN * NN];
-            for i in 0..NN {
-                for j in 0..NN {
-                    sink.add_matrix(sc[i * NN + j] as usize, lp.l[i][j]);
+        let mut b = range.start;
+        if self.lanes {
+            let re = &self.refs[RefElement::index_of(batch.kind)];
+            let mut ls = LaneScratch::default();
+            while b + LANES <= range.end {
+                ls.load(self.coords, self.velocity, None, &batch.gather, &batch.h, NN, b);
+                let lp = poisson_kernel_lanes::<NN>(re, &ls, self.props, self.dt)
+                    .expect("degenerate element");
+                for l in 0..LANES {
+                    let bb = b + l;
+                    let nodes = &batch.gather[bb * NN..(bb + 1) * NN];
+                    let sc = &batch.scatter[bb * NN * NN..(bb + 1) * NN * NN];
+                    for i in 0..NN {
+                        for j in 0..NN {
+                            sink.add_matrix(sc[i * NN + j] as usize, lp.l[i][j][l]);
+                        }
+                        sink.add_rhs(0, nodes[i] as usize, lp.b[i][l]);
+                    }
                 }
-                sink.add_rhs(0, nodes[i] as usize, lp.b[i]);
+                b += LANES;
             }
+        }
+        for bb in b..range.end {
+            self.run_one::<NN, S>(batch, bb, scratch, sink);
         }
     }
 }
@@ -421,6 +501,7 @@ pub fn assemble_momentum_batched(
         props,
         dt,
         body_force,
+        lanes: plan.lane_kernels,
     };
     assemble_batched(pool, mesh, plan, &ctx, matrix, rhs)
 }
@@ -438,7 +519,8 @@ pub fn assemble_poisson_batched(
     matrix: &mut CsrMatrix,
     rhs: &mut [Vec<f64>],
 ) -> AssemblyStats {
-    let ctx = PoissonCtx { refs, coords: &mesh.coords, velocity, props, dt };
+    let ctx =
+        PoissonCtx { refs, coords: &mesh.coords, velocity, props, dt, lanes: plan.lane_kernels };
     assemble_batched(pool, mesh, plan, &ctx, matrix, rhs)
 }
 
@@ -519,6 +601,80 @@ mod tests {
                     assert!((x - y).abs() <= 1e-9 * scale, "{strategy:?} rhs[{c}][{i}]");
                 }
             }
+        }
+    }
+
+    /// Serial batched assembly with lane kernels must be *bit-identical*
+    /// to serial batched assembly with scalar kernels: same per-element
+    /// bits (lane-kernel property tests) scattered in the same order.
+    #[test]
+    fn lane_batched_assembly_bit_identical_to_scalar_batched() {
+        let am = generate_airway(&AirwaySpec::small()).unwrap();
+        let mesh = &am.mesh;
+        let n2e = mesh.node_to_elements();
+        let template = CsrMatrix::from_mesh(mesh, &n2e);
+        let refs = RefElement::all();
+        let pool = ThreadPool::new(2);
+        let velocity: Vec<Vec3> =
+            mesh.coords.iter().map(|p| Vec3::new(p.z, -p.x, p.y * 0.5)).collect();
+        let pressure: Vec<f64> = mesh.coords.iter().map(|p| p.x * 3.0 - p.y).collect();
+        let elems: Vec<u32> = (0..mesh.num_elements() as u32).collect();
+
+        let run = |lanes: bool| {
+            let mut plan = AssemblyPlan::with_batches(
+                mesh,
+                elems.clone(),
+                AssemblyStrategy::Serial,
+                16,
+                &template,
+            );
+            plan.lane_kernels = lanes;
+            let mut a_u = template.clone();
+            let mut rhs_u = vec![vec![0.0; mesh.num_nodes()]; 3];
+            assemble_momentum_batched(
+                &pool,
+                &refs,
+                mesh,
+                &plan,
+                &velocity,
+                &pressure,
+                FluidProps::default(),
+                1e-4,
+                Vec3::new(0.0, 0.0, -9.81),
+                &mut a_u,
+                &mut rhs_u,
+            );
+            let mut a_p = template.clone();
+            let mut rhs_p = vec![vec![0.0; mesh.num_nodes()]];
+            assemble_poisson_batched(
+                &pool,
+                &refs,
+                mesh,
+                &plan,
+                &velocity,
+                FluidProps::default(),
+                1e-4,
+                &mut a_p,
+                &mut rhs_p,
+            );
+            (a_u, rhs_u, a_p, rhs_p)
+        };
+
+        let (au_s, ru_s, ap_s, rp_s) = run(false);
+        let (au_l, ru_l, ap_l, rp_l) = run(true);
+        for (k, (x, y)) in au_l.values.iter().zip(&au_s.values).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "momentum entry {k}: {x} vs {y}");
+        }
+        for c in 0..3 {
+            for (i, (x, y)) in ru_l[c].iter().zip(&ru_s[c]).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "momentum rhs[{c}][{i}]");
+            }
+        }
+        for (k, (x, y)) in ap_l.values.iter().zip(&ap_s.values).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "poisson entry {k}");
+        }
+        for (i, (x, y)) in rp_l[0].iter().zip(&rp_s[0]).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "poisson rhs[{i}]");
         }
     }
 }

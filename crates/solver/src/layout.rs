@@ -1,12 +1,15 @@
 //! The opt-in locality layout plan.
 //!
-//! Three independent switches form the locality-aware hot path:
-//! RCM node reordering (applied to the mesh before solvers are built),
-//! kind-batched SoA assembly, and fused/nnz-balanced solver kernels.
-//! The default is **everything off**, and the default path's golden
-//! trace (`tests/golden/sync_small.golden`) must stay byte-identical
-//! whether or not this code is compiled in. The fully-enabled plan is
-//! pinned by its own golden (`tests/golden/sync_small_opt.golden`).
+//! Independent switches form the locality-aware hot path: RCM node
+//! reordering (applied to the mesh before solvers are built),
+//! kind-batched SoA assembly, fused/nnz-balanced solver kernels,
+//! SELL-shaped SpMV, lane-SIMD element kernels, and kind-batched SGS
+//! sweeps. The default is **everything off**, and the default path's
+//! golden trace (`tests/golden/sync_small.golden`) must stay
+//! byte-identical whether or not this code is compiled in. The
+//! fully-enabled plan is pinned by its own golden
+//! (`tests/golden/sync_small_opt.golden`); every switch is individually
+//! bit-identical, so the opt golden needs no rebless when one flips.
 
 /// Which locality optimizations a run enables. `Default` is all-off.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -20,6 +23,22 @@ pub struct LayoutPlan {
     /// Use the fused, nnz-balanced, deterministic parallel CG for the
     /// pressure solve instead of the serial reference CG.
     pub fused_solver: bool,
+    /// Route the pressure-CG SpMV through a SELL-C-σ copy of the matrix
+    /// (8 independent accumulator chains per chunk hide FP-add latency;
+    /// bit-identical per row to the CSR SpMV).
+    pub sell_spmv: bool,
+    /// Evaluate element kernels 8 elements at a time over lane-SoA
+    /// scratch (per-lane op sequence identical to the scalar kernels, so
+    /// every local matrix entry carries identical bits).
+    pub lane_kernels: bool,
+    /// Run the SGS sweep over cached per-kind element batches instead of
+    /// re-gathering per element each sweep.
+    pub batched_sgs: bool,
+    /// Solve the momentum system matrix-free: keep per-element local
+    /// matrices and apply them row-wise on the fly instead of scattering
+    /// into a global CSR (0 ULP vs the assembled apply). Opt-in via
+    /// `CFPD_LAYOUT=opt-matfree`; not part of [`LayoutPlan::optimized`].
+    pub matrix_free: bool,
 }
 
 impl LayoutPlan {
@@ -28,16 +47,29 @@ impl LayoutPlan {
         LayoutPlan::default()
     }
 
-    /// All locality optimizations on.
+    /// All always-faster locality optimizations on (`matrix_free` stays
+    /// off: it trades apply speed for skipping matrix materialisation,
+    /// which is a workload-dependent win).
     pub fn optimized() -> LayoutPlan {
-        LayoutPlan { rcm: true, batched_assembly: true, fused_solver: true }
+        LayoutPlan {
+            rcm: true,
+            batched_assembly: true,
+            fused_solver: true,
+            sell_spmv: true,
+            lane_kernels: true,
+            batched_sgs: true,
+            matrix_free: false,
+        }
     }
 
     /// Resolve from the `CFPD_LAYOUT` environment variable: `opt`
-    /// enables everything, anything else (or unset) is the default.
+    /// enables the standard optimized plan, `opt-matfree` additionally
+    /// solves the momentum system matrix-free, anything else (or unset)
+    /// is the default.
     pub fn from_env() -> LayoutPlan {
         match std::env::var("CFPD_LAYOUT").as_deref() {
             Ok("opt") => LayoutPlan::optimized(),
+            Ok("opt-matfree") => LayoutPlan { matrix_free: true, ..LayoutPlan::optimized() },
             _ => LayoutPlan::disabled(),
         }
     }
@@ -72,6 +104,8 @@ mod tests {
     fn optimized_enables_everything() {
         let l = LayoutPlan::optimized();
         assert!(l.rcm && l.batched_assembly && l.fused_solver);
+        assert!(l.sell_spmv && l.lane_kernels && l.batched_sgs);
+        assert!(!l.matrix_free, "matrix-free is opt-in, not part of `opt`");
         assert!(!l.is_default());
         assert_eq!(l.label(), "opt");
     }

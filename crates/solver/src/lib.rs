@@ -24,10 +24,14 @@ pub mod batch;
 pub mod csr;
 pub mod kernels;
 pub mod krylov;
+pub mod lanes;
 pub mod layout;
+pub mod matfree;
 pub mod parallel;
+pub mod sell;
 pub mod sgs;
 pub mod shape;
+pub mod simd;
 
 pub use assembly::{
     assemble_momentum, assemble_poisson, AssemblyPlan, AssemblyStats, AssemblyStrategy,
@@ -37,8 +41,14 @@ pub use batch::{
 };
 pub use csr::{AtomicView, CsrMatrix, CsrPattern, DisjointView};
 pub use kernels::{ElementScratch, FluidProps};
-pub use krylov::{bicgstab, cg, cg_with_history, SolveStats};
+pub use krylov::{bicgstab, cg, cg_with_history, LinearOperator, SolveStats};
+pub use lanes::{momentum_kernel_lanes, poisson_kernel_lanes, LaneScratch, LANES};
 pub use layout::LayoutPlan;
-pub use parallel::{axpy_dot_fused, cg_fused, cg_fused_history, cg_parallel, spmv_dot_fused};
+pub use matfree::MatFreeMomentum;
+pub use parallel::{
+    axpy_dot_fused, cg_fused, cg_fused_history, cg_fused_sell, cg_parallel, dot_ranges,
+    spmv_dot_fused, spmv_sell_parallel_on,
+};
+pub use sell::{SellMatrix, SELL_C, SELL_SIGMA};
 pub use sgs::{compute_sgs, SgsField, SgsStats};
 pub use shape::{map_qp, MappedQp, QuadPoint, RefElement, MAX_NODES, MAX_QP};

@@ -20,6 +20,7 @@
 
 use crate::csr::CsrMatrix;
 use crate::krylov::SolveStats;
+use crate::sell::SellMatrix;
 use cfpd_runtime::{parallel_dot, parallel_for_ranges, ThreadPool};
 use std::cell::UnsafeCell;
 use std::ops::Range;
@@ -57,6 +58,13 @@ impl<'a> SharedOut<'a> {
     #[inline]
     unsafe fn get(&self, i: usize) -> f64 {
         unsafe { *self.0.get_unchecked(i).get() }
+    }
+
+    /// Base pointer for bulk raw writes (callers must stay within the
+    /// indices their chunk owns, as with [`SharedOut::set`]).
+    #[inline]
+    fn as_mut_ptr(&self) -> *mut f64 {
+        self.0.as_ptr() as *mut f64
     }
 }
 
@@ -141,6 +149,97 @@ pub fn spmv_dot_fused(
             }
             // SAFETY: slot `c` belongs to this chunk alone.
             unsafe { parts_ref.set(c, acc) };
+        });
+    }
+    parts.iter().sum()
+}
+
+/// y = A x through the SELL-C-σ structure, SELL chunk ranges
+/// distributed over the pool. Each SELL chunk writes only its own rows,
+/// so disjoint chunk ranges are race-free; every `y[row]` is
+/// bit-identical to the CSR SpMV (see [`SellMatrix`]).
+pub fn spmv_sell_parallel_on(
+    sell: &SellMatrix,
+    pool: &ThreadPool,
+    sell_ranges: &[Range<usize>],
+    x: &[f64],
+    y: &mut [f64],
+) {
+    assert_eq!(x.len(), sell.n);
+    assert_eq!(y.len(), sell.n);
+    let out = SharedOut::new(y);
+    let out_ref = &out;
+    parallel_for_ranges(pool, sell_ranges, |_c, chunks| {
+        // SAFETY: each SELL chunk owns its rows and chunk ranges are
+        // disjoint, so writes through the shared base pointer never
+        // alias across the region.
+        unsafe { sell.spmv_chunk_range_ptr(chunks.start, chunks.end, x, out_ref.as_mut_ptr()) };
+    });
+}
+
+/// xᵀy over precomputed row ranges, per-range partials summed in range
+/// order — the exact reduction grouping of [`spmv_dot_fused`], split
+/// out so a SELL-computed `y` can feed the same deterministic dot.
+///
+/// Ranges are processed in groups of four, their accumulation chains
+/// interleaved in lock-step: each partial is still the plain serial
+/// `Σ x[i]·y[i]` over its own range (bit-identical to a per-range
+/// loop), but four independent FP-add chains run at once, so the
+/// 4-cycle add latency that would otherwise bound a single chain is
+/// hidden.
+pub fn dot_ranges(pool: &ThreadPool, ranges: &[Range<usize>], x: &[f64], y: &[f64]) -> f64 {
+    assert_eq!(x.len(), y.len());
+    let mut parts = vec![0.0; ranges.len()];
+    let n_groups = ranges.len().div_ceil(4);
+    let groups: Vec<Range<usize>> =
+        (0..n_groups).map(|g| g * 4..ranges.len().min(g * 4 + 4)).collect();
+    {
+        let parts_out = SharedOut::new(&mut parts);
+        let parts_ref = &parts_out;
+        parallel_for_ranges(pool, &groups, |_g, group| {
+            let c0 = group.start;
+            if group.len() == 4 {
+                let (a0, b0) = (&x[ranges[c0].clone()], &y[ranges[c0].clone()]);
+                let (a1, b1) = (&x[ranges[c0 + 1].clone()], &y[ranges[c0 + 1].clone()]);
+                let (a2, b2) = (&x[ranges[c0 + 2].clone()], &y[ranges[c0 + 2].clone()]);
+                let (a3, b3) = (&x[ranges[c0 + 3].clone()], &y[ranges[c0 + 3].clone()]);
+                // Lock-step over the common prefix (the balanced ranges
+                // are near-equal, so this covers almost everything);
+                // re-sliced so the indexing is provably in-bounds.
+                let l = a0.len().min(a1.len()).min(a2.len()).min(a3.len());
+                let (c_a0, c_b0) = (&a0[..l], &b0[..l]);
+                let (c_a1, c_b1) = (&a1[..l], &b1[..l]);
+                let (c_a2, c_b2) = (&a2[..l], &b2[..l]);
+                let (c_a3, c_b3) = (&a3[..l], &b3[..l]);
+                let mut accs = [0.0f64; 4];
+                for k in 0..l {
+                    accs[0] += c_a0[k] * c_b0[k];
+                    accs[1] += c_a1[k] * c_b1[k];
+                    accs[2] += c_a2[k] * c_b2[k];
+                    accs[3] += c_a3[k] * c_b3[k];
+                }
+                // Per-range tails continue each chain past the prefix.
+                for (s, (a, b)) in
+                    [(a0, b0), (a1, b1), (a2, b2), (a3, b3)].into_iter().enumerate()
+                {
+                    let mut acc = accs[s];
+                    for k in l..a.len() {
+                        acc += a[k] * b[k];
+                    }
+                    // SAFETY: slot belongs to this group alone.
+                    unsafe { parts_ref.set(c0 + s, acc) };
+                }
+            } else {
+                for c in group {
+                    let (a, b) = (&x[ranges[c].clone()], &y[ranges[c].clone()]);
+                    let mut acc = 0.0;
+                    for k in 0..a.len() {
+                        acc += a[k] * b[k];
+                    }
+                    // SAFETY: slot `c` belongs to this group alone.
+                    unsafe { parts_ref.set(c, acc) };
+                }
+            }
         });
     }
     parts.iter().sum()
@@ -258,7 +357,25 @@ pub fn cg_fused(
     max_iters: usize,
     pool: &ThreadPool,
 ) -> SolveStats {
-    cg_fused_inner(a, b, x, tol, max_iters, pool, None)
+    cg_fused_inner(a, None, b, x, tol, max_iters, pool, None)
+}
+
+/// [`cg_fused`] with the SpMV routed through a [`SellMatrix`] built from
+/// (and value-synced with) `a`. Bit-identical to [`cg_fused`]: the SELL
+/// SpMV reproduces every `ap[row]` exactly, and `p·Ap` is reduced with
+/// [`dot_ranges`] over the *same* nnz-balanced row decomposition that
+/// [`spmv_dot_fused`] uses, so all scalars — and therefore the whole
+/// iteration trajectory — carry identical bits.
+pub fn cg_fused_sell(
+    a: &CsrMatrix,
+    sell: &SellMatrix,
+    b: &[f64],
+    x: &mut [f64],
+    tol: f64,
+    max_iters: usize,
+    pool: &ThreadPool,
+) -> SolveStats {
+    cg_fused_inner(a, Some(sell), b, x, tol, max_iters, pool, None)
 }
 
 /// [`cg_fused`] recording the loop-top relative residual of every
@@ -274,12 +391,13 @@ pub fn cg_fused_history(
     pool: &ThreadPool,
     history: &mut Vec<f64>,
 ) -> SolveStats {
-    cg_fused_inner(a, b, x, tol, max_iters, pool, Some(history))
+    cg_fused_inner(a, None, b, x, tol, max_iters, pool, Some(history))
 }
 
 #[allow(clippy::too_many_arguments)]
 fn cg_fused_inner(
     a: &CsrMatrix,
+    sell: Option<&SellMatrix>,
     b: &[f64],
     x: &mut [f64],
     tol: f64,
@@ -290,13 +408,20 @@ fn cg_fused_inner(
     let n = a.n;
     assert_eq!(b.len(), n);
     assert_eq!(x.len(), n);
+    if let Some(s) = sell {
+        assert_eq!(s.n, n);
+    }
     let diag = a.diagonal();
     let ranges = a.row_chunks(CG_FUSED_CHUNKS);
+    let sell_ranges = sell.map(|s| s.chunk_ranges(CG_FUSED_CHUNKS));
     // b_norm in serial order: bit-identical to the reference CG.
     let b_norm = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
 
     let mut r = vec![0.0; n];
-    a.spmv_parallel_on(pool, &ranges, x, &mut r);
+    match (sell, &sell_ranges) {
+        (Some(s), Some(sr)) => spmv_sell_parallel_on(s, pool, sr, x, &mut r),
+        _ => a.spmv_parallel_on(pool, &ranges, x, &mut r),
+    }
     let mut z = vec![0.0; n];
     let mut p = vec![0.0; n];
     // Init region: r = b − Ax, z = D⁻¹r, p = z, with r·z and r·r.
@@ -345,8 +470,16 @@ fn cg_fused_inner(
         if res < tol {
             return SolveStats { iterations: it, residual: res, converged: true };
         }
-        // Region 1: ap = A·p fused with p·Ap.
-        let pap = spmv_dot_fused(a, pool, &ranges, &p, &mut ap);
+        // Region 1: ap = A·p fused with p·Ap. The SELL path computes
+        // the same per-row bits and then reduces p·Ap over the same row
+        // ranges [`spmv_dot_fused`] groups by, so pap is bit-identical.
+        let pap = match (sell, &sell_ranges) {
+            (Some(s), Some(sr)) => {
+                spmv_sell_parallel_on(s, pool, sr, &p, &mut ap);
+                dot_ranges(pool, &ranges, &p, &ap)
+            }
+            _ => spmv_dot_fused(a, pool, &ranges, &p, &mut ap),
+        };
         if pap.abs() < 1e-300 {
             return SolveStats { iterations: it, residual: res, converged: false };
         }
@@ -574,6 +707,46 @@ mod tests {
             let pool = ThreadPool::new(workers);
             let mut x = vec![0.0; n];
             let s = cg_fused(&a, &b, &mut x, 1e-11, 1000, &pool);
+            runs.push((x, s));
+        }
+        let (x1, s1) = &runs[0];
+        let (x4, s4) = &runs[1];
+        assert_eq!(s1.iterations, s4.iterations);
+        assert_eq!(s1.residual.to_bits(), s4.residual.to_bits());
+        for i in 0..n {
+            assert_eq!(x1[i].to_bits(), x4[i].to_bits(), "x[{i}] differs across pools");
+        }
+    }
+
+    #[test]
+    fn sell_cg_bit_identical_to_fused_cg() {
+        let n = 333;
+        let a = poisson_1d(n);
+        let sell = SellMatrix::from_csr(&a);
+        let b: Vec<f64> = (0..n).map(|i| ((i % 11) as f64 - 5.0) * 0.3).collect();
+        let pool = ThreadPool::new(4);
+        let mut x_csr = vec![0.0; n];
+        let s_csr = cg_fused(&a, &b, &mut x_csr, 1e-11, 1000, &pool);
+        let mut x_sell = vec![0.0; n];
+        let s_sell = cg_fused_sell(&a, &sell, &b, &mut x_sell, 1e-11, 1000, &pool);
+        assert_eq!(s_csr.iterations, s_sell.iterations);
+        assert_eq!(s_csr.residual.to_bits(), s_sell.residual.to_bits());
+        for i in 0..n {
+            assert_eq!(x_csr[i].to_bits(), x_sell[i].to_bits(), "x[{i}] differs sell vs csr");
+        }
+    }
+
+    #[test]
+    fn sell_cg_bit_identical_across_pool_sizes() {
+        let n = 257;
+        let a = poisson_1d(n);
+        let sell = SellMatrix::from_csr(&a);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let mut runs = Vec::new();
+        for workers in [1usize, 4] {
+            let pool = ThreadPool::new(workers);
+            let mut x = vec![0.0; n];
+            let s = cg_fused_sell(&a, &sell, &b, &mut x, 1e-11, 1000, &pool);
             runs.push((x, s));
         }
         let (x1, s1) = &runs[0];

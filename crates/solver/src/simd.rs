@@ -1,0 +1,233 @@
+//! Eight-lane f64 vector for the SoA kernel hot loops.
+//!
+//! LLVM's autovectorizer caps AVX-512 codegen at 256 bits on server
+//! CPUs (the `prefer-256-bit` tuning default), which halves the
+//! throughput of the `[f64; 8]` lane kernels. [`F64x8`] routes the
+//! same elementwise operations through explicit 512-bit intrinsics
+//! when `avx512f` is enabled at compile time, and through plain
+//! per-lane arrays everywhere else (which the compiler vectorizes to
+//! whatever width the target has — NEON on the paper's Arm nodes).
+//!
+//! **Bit-identity contract.** Every operation is a per-lane IEEE-754
+//! scalar operation: `+`, `-`, `*`, `/`, `sqrt`, `abs` and mask/select
+//! all map to the exact semantics of the corresponding `f64` op, and
+//! none of them is ever contracted (no FMA) or reassociated. An
+//! expression written with these operators therefore evaluates each
+//! lane with the same operation tree as the scalar source it mirrors,
+//! producing bit-identical results — pinned by the lane-kernel
+//! property tests against the scalar kernels.
+
+use std::ops::{Add, Div, Mul, Sub};
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+use core::arch::x86_64::*;
+
+/// Eight `f64` lanes operated on elementwise.
+#[derive(Clone, Copy, Debug)]
+pub struct F64x8(Repr);
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+type Repr = __m512d;
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+type Repr = [f64; 8];
+
+/// Per-lane comparison result, used to select between two vectors.
+#[derive(Clone, Copy, Debug)]
+pub struct Mask8(MaskRepr);
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+type MaskRepr = __mmask8;
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+type MaskRepr = [bool; 8];
+
+#[cfg(all(target_arch = "x86_64", target_feature = "avx512f"))]
+mod imp {
+    use super::*;
+
+    impl F64x8 {
+        #[inline(always)]
+        pub fn load(a: &[f64; 8]) -> F64x8 {
+            // SAFETY: avx512f is statically enabled in this cfg.
+            F64x8(unsafe { _mm512_loadu_pd(a.as_ptr()) })
+        }
+        #[inline(always)]
+        pub fn store(self, a: &mut [f64; 8]) {
+            // SAFETY: as above; `a` holds exactly 8 lanes.
+            unsafe { _mm512_storeu_pd(a.as_mut_ptr(), self.0) }
+        }
+        #[inline(always)]
+        pub fn splat(v: f64) -> F64x8 {
+            F64x8(unsafe { _mm512_set1_pd(v) })
+        }
+        #[inline(always)]
+        pub fn zero() -> F64x8 {
+            F64x8(unsafe { _mm512_setzero_pd() })
+        }
+        #[inline(always)]
+        pub fn sqrt(self) -> F64x8 {
+            F64x8(unsafe { _mm512_sqrt_pd(self.0) })
+        }
+        /// Per-lane `f64::abs` (sign-bit clear, like the scalar op).
+        #[inline(always)]
+        pub fn abs(self) -> F64x8 {
+            F64x8(unsafe { _mm512_abs_pd(self.0) })
+        }
+        /// Per-lane `self > rhs` (ordered, quiet — Rust's `>`).
+        #[inline(always)]
+        pub fn gt(self, rhs: F64x8) -> Mask8 {
+            Mask8(unsafe { _mm512_cmp_pd_mask::<_CMP_GT_OQ>(self.0, rhs.0) })
+        }
+        /// Per-lane `self < rhs` (ordered, quiet — Rust's `<`).
+        #[inline(always)]
+        pub fn lt(self, rhs: F64x8) -> Mask8 {
+            Mask8(unsafe { _mm512_cmp_pd_mask::<_CMP_LT_OQ>(self.0, rhs.0) })
+        }
+        #[inline(always)]
+        pub fn to_array(self) -> [f64; 8] {
+            let mut out = [0.0; 8];
+            self.store(&mut out);
+            out
+        }
+    }
+
+    impl Mask8 {
+        /// Lane-wise `if mask { t } else { f }`.
+        #[inline(always)]
+        pub fn select(self, t: F64x8, f: F64x8) -> F64x8 {
+            F64x8(unsafe { _mm512_mask_blend_pd(self.0, f.0, t.0) })
+        }
+        #[inline(always)]
+        pub fn any(self) -> bool {
+            self.0 != 0
+        }
+    }
+
+    macro_rules! op {
+        ($trait:ident, $fn:ident, $intr:ident) => {
+            impl $trait for F64x8 {
+                type Output = F64x8;
+                #[inline(always)]
+                fn $fn(self, rhs: F64x8) -> F64x8 {
+                    F64x8(unsafe { $intr(self.0, rhs.0) })
+                }
+            }
+        };
+    }
+    op!(Add, add, _mm512_add_pd);
+    op!(Sub, sub, _mm512_sub_pd);
+    op!(Mul, mul, _mm512_mul_pd);
+    op!(Div, div, _mm512_div_pd);
+}
+
+#[cfg(not(all(target_arch = "x86_64", target_feature = "avx512f")))]
+mod imp {
+    use super::*;
+
+    impl F64x8 {
+        #[inline(always)]
+        pub fn load(a: &[f64; 8]) -> F64x8 {
+            F64x8(*a)
+        }
+        #[inline(always)]
+        pub fn store(self, a: &mut [f64; 8]) {
+            *a = self.0;
+        }
+        #[inline(always)]
+        pub fn splat(v: f64) -> F64x8 {
+            F64x8([v; 8])
+        }
+        #[inline(always)]
+        pub fn zero() -> F64x8 {
+            F64x8([0.0; 8])
+        }
+        #[inline(always)]
+        pub fn sqrt(self) -> F64x8 {
+            F64x8(std::array::from_fn(|l| self.0[l].sqrt()))
+        }
+        /// Per-lane `f64::abs` (sign-bit clear, like the scalar op).
+        #[inline(always)]
+        pub fn abs(self) -> F64x8 {
+            F64x8(std::array::from_fn(|l| self.0[l].abs()))
+        }
+        /// Per-lane `self > rhs` (ordered, quiet — Rust's `>`).
+        #[inline(always)]
+        pub fn gt(self, rhs: F64x8) -> Mask8 {
+            Mask8(std::array::from_fn(|l| self.0[l] > rhs.0[l]))
+        }
+        /// Per-lane `self < rhs` (ordered, quiet — Rust's `<`).
+        #[inline(always)]
+        pub fn lt(self, rhs: F64x8) -> Mask8 {
+            Mask8(std::array::from_fn(|l| self.0[l] < rhs.0[l]))
+        }
+        #[inline(always)]
+        pub fn to_array(self) -> [f64; 8] {
+            self.0
+        }
+    }
+
+    impl Mask8 {
+        /// Lane-wise `if mask { t } else { f }`.
+        #[inline(always)]
+        pub fn select(self, t: F64x8, f: F64x8) -> F64x8 {
+            F64x8(std::array::from_fn(|l| if self.0[l] { t.0[l] } else { f.0[l] }))
+        }
+        #[inline(always)]
+        pub fn any(self) -> bool {
+            self.0.iter().any(|&b| b)
+        }
+    }
+
+    macro_rules! op {
+        ($trait:ident, $fn:ident, $op:tt) => {
+            impl $trait for F64x8 {
+                type Output = F64x8;
+                #[inline(always)]
+                fn $fn(self, rhs: F64x8) -> F64x8 {
+                    F64x8(std::array::from_fn(|l| self.0[l] $op rhs.0[l]))
+                }
+            }
+        };
+    }
+    op!(Add, add, +);
+    op!(Sub, sub, -);
+    op!(Mul, mul, *);
+    op!(Div, div, /);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfpd_testkit::rng::Rng;
+
+    #[test]
+    fn elementwise_ops_match_scalar_bits() {
+        let mut rng = Rng::new(0xf64_8);
+        for _ in 0..200 {
+            let a: [f64; 8] = std::array::from_fn(|_| match rng.range_usize(0, 6) {
+                0 => 0.0,
+                1 => -0.0,
+                _ => rng.range_f64(-1e3, 1e3),
+            });
+            let b: [f64; 8] = std::array::from_fn(|_| rng.range_f64(-1e3, 1e3));
+            let (va, vb) = (F64x8::load(&a), F64x8::load(&b));
+            for l in 0..8 {
+                assert_eq!((va + vb).to_array()[l].to_bits(), (a[l] + b[l]).to_bits());
+                assert_eq!((va - vb).to_array()[l].to_bits(), (a[l] - b[l]).to_bits());
+                assert_eq!((va * vb).to_array()[l].to_bits(), (a[l] * b[l]).to_bits());
+                assert_eq!((va / vb).to_array()[l].to_bits(), (a[l] / b[l]).to_bits());
+                assert_eq!(va.abs().to_array()[l].to_bits(), a[l].abs().to_bits());
+                assert_eq!(
+                    va.abs().sqrt().to_array()[l].to_bits(),
+                    a[l].abs().sqrt().to_bits()
+                );
+            }
+            let m = va.gt(vb);
+            let sel = m.select(va, vb);
+            for l in 0..8 {
+                let want = if a[l] > b[l] { a[l] } else { b[l] };
+                assert_eq!(sel.to_array()[l].to_bits(), want.to_bits());
+            }
+            assert_eq!(m.any(), (0..8).any(|l| a[l] > b[l]));
+        }
+    }
+}

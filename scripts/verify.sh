@@ -18,7 +18,8 @@
 #     carrying the POP rollup keys, and the overhead bench's --quick run
 #     must complete and emit its JSON,
 #   * a bench smoke: the hotpath benchmark's --quick run must complete
-#     and emit its JSON,
+#     and emit its JSON carrying the per-phase breakdown schema
+#     (phases.{spmv,jacobi,axpy_dot,sgs,assembly} + end_to_end),
 #   * a trace-pipeline smoke: `cfpd trace export` writes Paraver +
 #     Chrome + summary artifacts that validate against the in-repo
 #     RFC 8259 parser, `cfpd trace diff` of two identical-seed traced
@@ -81,6 +82,14 @@ done
 echo "== bench smoke (hotpath --quick + telemetry overhead --quick) =="
 timeout 300 target/release/hotpath --quick >/dev/null
 test -s results/BENCH_hotpath_quick.json || { echo "FAIL: BENCH_hotpath_quick.json missing" >&2; exit 1; }
+python3 -m json.tool results/BENCH_hotpath_quick.json >/dev/null \
+    || { echo "FAIL: hotpath JSON invalid" >&2; exit 1; }
+# The per-phase schema the perf docs and the trajectory gate key on.
+for key in '"phases"' '"spmv"' '"jacobi"' '"axpy_dot"' '"sgs"' '"assembly"' \
+           '"end_to_end"' '"default_ns"' '"opt_ns"' '"speedup"'; do
+    grep -q "$key" results/BENCH_hotpath_quick.json \
+        || { echo "FAIL: BENCH_hotpath_quick.json missing $key" >&2; exit 1; }
+done
 timeout 300 target/release/overhead --quick >/dev/null
 test -s results/BENCH_telemetry_overhead_quick.json \
     || { echo "FAIL: BENCH_telemetry_overhead_quick.json missing" >&2; exit 1; }
