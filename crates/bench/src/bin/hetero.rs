@@ -1,0 +1,134 @@
+//! Heterogeneous-cluster DLB bench: reactive LeWI vs predictive
+//! pre-lending on emulated mixed MareNostrum4/ThunderX nodes.
+//!
+//! Runs the deterministic virtual-time emulator (`cfpd_hetero`) over
+//! each non-uniform profile and both `DlbPolicy` variants, then reports
+//! the POP efficiency triple — PE = LB × CommE — plus virtual wall
+//! time, pre-lend and fallback counts, and the headline `pe_margin`
+//! (predictive PE − reactive PE). Everything is virtual time, so the
+//! JSON is byte-identical across repeat runs and machines; `--quick`
+//! only shrinks the step count.
+//!
+//! Writes `results/BENCH_hetero[_quick].json` (+ the repo-root copy on
+//! full runs) and a text table to `results/BENCH_hetero.txt`.
+
+use cfpd_bench::{emit, emit_json, format_table};
+use cfpd_dlb::DlbPolicy;
+use cfpd_hetero::{emulate, profile_by_name, EmulatorConfig, PolicyMetrics, PROFILE_NAMES};
+
+const RANKS: usize = 8;
+const NODES: usize = 2;
+const SEED: u64 = 42;
+
+struct ProfileRow {
+    profile: &'static str,
+    reactive: PolicyMetrics,
+    predictive: PolicyMetrics,
+}
+
+impl ProfileRow {
+    fn pe_margin(&self) -> f64 {
+        self.predictive.pe - self.reactive.pe
+    }
+
+    fn speedup(&self) -> f64 {
+        self.reactive.wall_secs / self.predictive.wall_secs
+    }
+}
+
+fn run_profile(name: &'static str, steps: usize) -> ProfileRow {
+    let profile = profile_by_name(name, SEED).expect("known profile");
+    let cfg = EmulatorConfig::calibrated(&profile, RANKS, NODES, steps);
+    ProfileRow {
+        profile: name,
+        reactive: emulate(&cfg, DlbPolicy::Reactive),
+        predictive: emulate(&cfg, DlbPolicy::Predictive),
+    }
+}
+
+fn policy_json(m: &PolicyMetrics) -> String {
+    format!(
+        "{{ \"pe\": {:.6}, \"lb\": {:.6}, \"comm_e\": {:.6}, \"wall_s\": {:.6}, \
+         \"pre_lends\": {}, \"fallbacks\": {} }}",
+        m.pe, m.lb, m.comm_e, m.wall_secs, m.pre_lends, m.fallbacks
+    )
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let steps = if quick { 6 } else { 40 };
+    eprintln!(
+        "hetero bench: {RANKS} ranks / {NODES} nodes, {steps} steps{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    let rows: Vec<ProfileRow> = PROFILE_NAMES
+        .iter()
+        .filter(|&&n| n != "uniform") // control profile: nothing to balance
+        .map(|&n| run_profile(n, steps))
+        .collect();
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .flat_map(|r| {
+            [(&r.reactive, ""), (&r.predictive, "")]
+                .into_iter()
+                .map(move |(m, _)| {
+                    vec![
+                        r.profile.to_string(),
+                        m.policy.name().to_string(),
+                        format!("{:.3}", m.pe),
+                        format!("{:.3}", m.lb),
+                        format!("{:.3}", m.comm_e),
+                        format!("{:.2}", m.wall_secs),
+                        format!("{}", m.pre_lends),
+                        format!("{}", m.fallbacks),
+                    ]
+                })
+        })
+        .collect();
+    let mut report = format_table(
+        &["profile", "policy", "PE", "LB", "CommE", "wall_s", "pre_lends", "fallbacks"],
+        &table,
+    );
+    report.push('\n');
+    for r in &rows {
+        report.push_str(&format!(
+            "{}: predictive PE margin {:+.3} ({:.3} -> {:.3}), wall speedup {:.2}x\n",
+            r.profile,
+            r.pe_margin(),
+            r.reactive.pe,
+            r.predictive.pe,
+            r.speedup()
+        ));
+        assert!(
+            r.pe_margin() > 0.0,
+            "{}: predictive must not lose to reactive",
+            r.profile
+        );
+    }
+
+    let mut body = String::from("{\n");
+    body.push_str(&format!("  \"bench\": \"hetero\",\n  \"quick\": {quick},\n"));
+    body.push_str(&format!(
+        "  \"ranks\": {RANKS},\n  \"nodes\": {NODES},\n  \"steps\": {steps},\n"
+    ));
+    body.push_str("  \"profiles\": {\n");
+    for (i, r) in rows.iter().enumerate() {
+        let sep = if i + 1 == rows.len() { "" } else { "," };
+        body.push_str(&format!(
+            "    \"{}\": {{\n      \"reactive\": {},\n      \"predictive\": {},\n      \
+             \"pe_margin\": {:.6},\n      \"wall_speedup\": {:.6}\n    }}{sep}\n",
+            r.profile,
+            policy_json(&r.reactive),
+            policy_json(&r.predictive),
+            r.pe_margin(),
+            r.speedup()
+        ));
+    }
+    body.push_str("  }\n}\n");
+
+    let name = if quick { "BENCH_hetero_quick" } else { "BENCH_hetero" };
+    emit(name, &report);
+    emit_json("BENCH_hetero", quick, &body);
+}

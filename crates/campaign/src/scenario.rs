@@ -12,7 +12,8 @@ use cfpd_solver::AssemblyStrategy;
 /// Every scenario key the DSL understands, in documentation order.
 pub const SCENARIO_KEYS: &[&str] = &[
     "ranks", "threads", "generations", "particles", "steps", "seed", "subdomains", "tol",
-    "max_iters", "inflow", "dt", "mode", "strategy", "layout", "dlb", "trace",
+    "max_iters", "inflow", "dt", "mode", "strategy", "layout", "dlb", "trace", "dlb_policy",
+    "hetero",
 ];
 
 /// The mutable settings a scenario cell is built from: the simulation
@@ -25,6 +26,11 @@ pub struct CellSettings {
     pub config: SimulationConfig,
     pub dlb: bool,
     pub trace: bool,
+    pub dlb_policy: cfpd_dlb::DlbPolicy,
+    /// Heterogeneity profile name (`hetero = mn4_thunder`); resolved to
+    /// a [`cfpd_simmpi::RankProfile`] (seeded with the scenario seed)
+    /// when the cell materializes.
+    pub hetero: Option<String>,
 }
 
 impl Default for CellSettings {
@@ -37,6 +43,8 @@ impl Default for CellSettings {
             config: SimulationConfig::default(),
             dlb: false,
             trace: false,
+            dlb_policy: cfpd_dlb::DlbPolicy::default(),
+            hetero: None,
         }
     }
 }
@@ -136,6 +144,25 @@ impl CellSettings {
             }
             "dlb" => self.dlb = parse_switch(pair)?,
             "trace" => self.trace = parse_switch(pair)?,
+            "dlb_policy" => {
+                self.dlb_policy =
+                    cfpd_dlb::DlbPolicy::parse(pair.value.as_str()).ok_or_else(|| {
+                        DslError::at(
+                            pair.line,
+                            format!(
+                                "invalid dlb_policy {:?} (expected: reactive, lewi, predictive)",
+                                pair.value
+                            ),
+                        )
+                    })?
+            }
+            "hetero" => {
+                // Validate the name now (seed 0 probe) so a typo fails
+                // at parse time with the offending line, not mid-run.
+                cfpd_hetero::profile_by_name(pair.value.as_str(), 0)
+                    .map_err(|e| DslError::at(pair.line, e))?;
+                self.hetero = Some(pair.value.clone());
+            }
             other => {
                 return Err(DslError::at(
                     pair.line,
@@ -148,11 +175,21 @@ impl CellSettings {
 
     /// Materialize the run request.
     pub fn to_scenario(&self) -> Scenario {
+        let hetero = self.hetero.as_ref().map(|name| {
+            cfpd_hetero::profile_by_name(name, self.config.seed)
+                .expect("hetero name validated at parse time")
+        });
         Scenario {
             config: self.config.clone(),
             ranks: self.ranks,
             threads: self.threads,
-            opts: RunOptions { dlb: self.dlb, trace: self.trace, ..Default::default() },
+            opts: RunOptions {
+                dlb: self.dlb,
+                trace: self.trace,
+                policy: self.dlb_policy,
+                hetero,
+                ..Default::default()
+            },
         }
     }
 }
@@ -381,6 +418,31 @@ mod tests {
         assert_eq!(s.config.mode, ExecutionMode::Coupled { fluid: 2, particles: 1 });
         assert_eq!(s.config.layout, LayoutPlan::optimized());
         assert!(s.dlb);
+    }
+
+    #[test]
+    fn hetero_and_policy_keys_round_trip() {
+        let mut s = CellSettings::default();
+        s.apply(&pair("hetero", "mn4_thunder")).unwrap();
+        s.apply(&pair("dlb_policy", "predictive")).unwrap();
+        s.apply(&pair("dlb", "on")).unwrap();
+        s.apply(&pair("seed", "77")).unwrap();
+        let sc = s.to_scenario();
+        assert_eq!(sc.opts.policy, cfpd_dlb::DlbPolicy::Predictive);
+        let profile = sc.opts.hetero.expect("profile resolved");
+        assert_eq!(profile.name, "mn4_thunder");
+        assert_eq!(profile.seed, 77, "profile seeded with the scenario seed");
+
+        // Unknown names fail at parse time, anchored to the line, and
+        // name both the offender and the accepted set.
+        let p = RawPair { key: "hetero".into(), value: "warp9".into(), line: 31 };
+        let err = CellSettings::default().apply(&p).unwrap_err();
+        assert_eq!(err.line, 31);
+        assert!(err.message.contains("warp9") && err.message.contains("mn4_thunder"), "{err}");
+        let p = RawPair { key: "dlb_policy".into(), value: "psychic".into(), line: 8 };
+        let err = CellSettings::default().apply(&p).unwrap_err();
+        assert_eq!(err.line, 8);
+        assert!(err.message.contains("predictive"), "{err}");
     }
 
     #[test]

@@ -54,8 +54,7 @@ impl DesConfig {
         if !malleable {
             return self.core_speed * cores.min(1.0);
         }
-        let eff = 1.0 / (1.0 + self.efficiency_loss * (cores - 1.0).max(0.0));
-        self.core_speed * cores * eff
+        self.core_speed * cores * crate::platform::efficiency_curve(self.efficiency_loss, cores)
     }
 }
 

@@ -76,8 +76,7 @@ pub fn estimate_energy(
         }
     }
     let total_core_seconds = total_cores * wall;
-    let busy = busy_core_seconds.min(total_core_seconds);
-    let idle = (total_core_seconds - busy).max(0.0);
+    let (busy, idle) = crate::platform::busy_idle_split(busy_core_seconds, total_core_seconds);
     EnergyReport {
         busy_joules: busy * power.busy_w_per_core,
         idle_joules: idle * power.idle_w_per_core,

@@ -22,5 +22,5 @@ pub mod scenario;
 
 pub use des::{barrier_segments, simulate, DesConfig, DesResult, RankProgram, Segment};
 pub use energy::{estimate_energy, EnergyReport, PowerModel};
-pub use platform::{Platform, WORK_PER_TET_INSTR};
+pub use platform::{busy_idle_split, efficiency_curve, Platform, WORK_PER_TET_INSTR};
 pub use scenario::{CoupledScenario, Mapping, PhaseSpec, Sensitivity, SyncScenario};

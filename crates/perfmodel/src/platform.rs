@@ -106,7 +106,7 @@ impl Platform {
 
     /// Parallel efficiency of a `threads`-wide shared-memory region.
     pub fn thread_efficiency(&self, threads: f64) -> f64 {
-        1.0 / (1.0 + self.thread_efficiency_loss * (threads - 1.0).max(0.0))
+        efficiency_curve(self.thread_efficiency_loss, threads)
     }
 
     /// Paper-cited IPC under a strategy (for the calibration report).
@@ -119,6 +119,26 @@ impl Platform {
 /// estimate; only the *ratio* between platforms and strategies matters
 /// for the reproduced shapes, not this absolute scale).
 pub const WORK_PER_TET_INSTR: f64 = 2.0e4;
+
+/// The one shared speed-factor curve: parallel efficiency of a
+/// `threads`-wide shared-memory region losing `loss` per extra thread.
+///
+/// Both the platform model ([`Platform::thread_efficiency`]) and the
+/// DES rate law (`DesConfig::rate`) consult this function — they used
+/// to carry private copies with subtly different clamping. Guarantees
+/// (pinned by a property test): the result is in `(0, 1]`, is exactly
+/// `1.0` at or below one thread, and never increases with more threads.
+pub fn efficiency_curve(loss: f64, threads: f64) -> f64 {
+    1.0 / (1.0 + loss.max(0.0) * (threads - 1.0).max(0.0))
+}
+
+/// The one shared busy/idle clamp: split `busy` core-seconds out of a
+/// `total` budget such that both parts are non-negative and sum to
+/// exactly `total` (the energy model's former ad-hoc clamping).
+pub fn busy_idle_split(busy: f64, total: f64) -> (f64, f64) {
+    let busy = busy.min(total).max(0.0);
+    (busy, (total - busy).max(0.0))
+}
 
 #[cfg(test)]
 mod tests {
@@ -164,5 +184,52 @@ mod tests {
         assert_eq!(p.thread_efficiency(1.0), 1.0);
         assert!(p.thread_efficiency(4.0) < 1.0);
         assert!(p.thread_efficiency(4.0) > 0.9);
+    }
+
+    #[test]
+    fn efficiency_curve_properties() {
+        use cfpd_testkit::prop::{check, f64_range, PropConfig};
+        let gen = (f64_range(0.0, 0.5), f64_range(0.0, 256.0), f64_range(0.0, 8.0));
+        check(
+            "efficiency curve is clamped, shared and monotone",
+            PropConfig::cases(256),
+            &gen,
+            |&(loss, threads, dt)| {
+                let eff = efficiency_curve(loss, threads);
+                assert!(eff > 0.0 && eff <= 1.0, "eff {eff} outside (0, 1]");
+                if threads <= 1.0 {
+                    assert_eq!(eff, 1.0, "at most one thread loses nothing");
+                }
+                // More threads never increase per-thread efficiency.
+                assert!(efficiency_curve(loss, threads + dt) <= eff);
+                // The platform method is the same curve, not a copy.
+                for p in [Platform::mare_nostrum4(), Platform::thunder()] {
+                    assert_eq!(
+                        p.thread_efficiency(threads),
+                        efficiency_curve(p.thread_efficiency_loss, threads)
+                    );
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn busy_idle_split_properties() {
+        use cfpd_testkit::prop::{check, f64_range, PropConfig};
+        // Busy may exceed the budget (the clamp's whole purpose) and
+        // even be negative on degenerate inputs; the split must always
+        // be non-negative and sum exactly to the budget.
+        let gen = (f64_range(-10.0, 2000.0), f64_range(0.0, 1000.0));
+        check(
+            "busy/idle split conserves the core-second budget",
+            PropConfig::cases(256),
+            &gen,
+            |&(busy_in, total)| {
+                let (busy, idle) = busy_idle_split(busy_in, total);
+                assert!(busy >= 0.0 && idle >= 0.0);
+                assert!(busy <= total);
+                assert!((busy + idle - total).abs() <= 1e-12 * total.max(1.0));
+            },
+        );
     }
 }

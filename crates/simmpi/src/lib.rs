@@ -21,6 +21,7 @@ pub mod diag;
 pub mod fault;
 pub mod hooks;
 pub mod nonblocking;
+pub mod profile;
 pub mod tracer;
 pub mod universe;
 
@@ -29,5 +30,6 @@ pub use diag::{DeadlockReport, RankState, RankWait, UniverseDiag, WaitInfo};
 pub use fault::{ChaosHooks, CrashSpec, FaultAction, FaultConfig, FaultEvent, FaultEventKind, FaultPlan};
 pub use nonblocking::Request;
 pub use hooks::{BlockKind, CountingHooks, MpiHooks, NoHooks};
+pub use profile::{ProfileHooks, RankProfile};
 pub use tracer::{MsgSpan, TraceHooks, WaitSpan};
 pub use universe::Universe;

@@ -47,13 +47,16 @@ fn state_value(state: WorkerState) -> u64 {
 }
 
 fn dlb_value(kind: DlbMarkKind) -> u64 {
-    const ALL: [DlbMarkKind; 6] = [
+    // PreLend is appended last so the numeric values of the original
+    // six kinds (and every blessed .prv golden) stay stable.
+    const ALL: [DlbMarkKind; 7] = [
         DlbMarkKind::Lend,
         DlbMarkKind::Borrow,
         DlbMarkKind::Reclaim,
         DlbMarkKind::Revoke,
         DlbMarkKind::LeaseExpired,
         DlbMarkKind::Crashed,
+        DlbMarkKind::PreLend,
     ];
     ALL.iter().position(|k| *k == kind).unwrap() as u64 + 1
 }
@@ -197,6 +200,7 @@ pub fn export_pcf() -> String {
         DlbMarkKind::Revoke,
         DlbMarkKind::LeaseExpired,
         DlbMarkKind::Crashed,
+        DlbMarkKind::PreLend,
     ] {
         out.push_str(&format!("{}      {}\n", dlb_value(k), k.name()));
     }

@@ -398,6 +398,54 @@ fn cancellation_is_honoured_at_segment_boundaries() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Hetero-keyed jobs go through the daemon like any other scenario key:
+/// a campaign skewing rank speeds under the predictive policy is
+/// accepted, runs to done, and serves bytes identical to a direct run
+/// (the profile is timing-only, so determinism must survive it).
+#[test]
+fn hetero_keyed_jobs_serve_byte_identical_results() {
+    let text = format!(
+        "{}hetero = mn4_thunder\ndlb = on\ndlb_policy = predictive\n",
+        campaign_text("skewed", 2)
+    );
+    let dir = tmp_dir("hetero");
+    let daemon =
+        Daemon::start(ServeConfig { data_dir: dir.clone(), ..Default::default() }).unwrap();
+    let addr = daemon.addr().to_string();
+    let job = submit(&addr, &text);
+    assert_eq!(result_of(&addr, job), direct_json(&text));
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A submission with an unknown scenario key is rejected with a 400
+/// whose body names the offending key and its line — the operator can
+/// fix the spec without reading daemon logs.
+#[test]
+fn unknown_scenario_keys_reject_with_offender_and_line() {
+    let dir = tmp_dir("badkey");
+    let daemon =
+        Daemon::start(ServeConfig { data_dir: dir.clone(), ..Default::default() }).unwrap();
+    let addr = daemon.addr().to_string();
+
+    // Line 8 of the submitted text carries the typo'd key.
+    let text = format!("{}heterro = mn4_thunder\n", campaign_text("typo", 2));
+    let (code, body) = http_call(&addr, "POST", "/jobs", &text).unwrap();
+    assert_eq!(code, 400, "{body}");
+    assert!(body.contains("bad campaign spec"), "{body}");
+    assert!(body.contains("heterro"), "400 must name the offending key: {body}");
+    assert!(body.contains("line 8"), "400 must name the offending line: {body}");
+
+    // A known key with a bogus value is diagnosed just as precisely.
+    let text = format!("{}hetero = warp9\n", campaign_text("bogus", 2));
+    let (code, body) = http_call(&addr, "POST", "/jobs", &text).unwrap();
+    assert_eq!(code, 400, "{body}");
+    assert!(body.contains("warp9"), "{body}");
+    assert!(body.contains("line 8"), "{body}");
+    daemon.kill();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// /metrics is valid Prometheus exposition under the strict lint, with
 /// the supervisor's counters present.
 #[test]
