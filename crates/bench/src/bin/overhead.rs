@@ -73,6 +73,29 @@ fn main() {
     tel::set_enabled(false);
     tel::reset();
 
+    // Flight recorder: the disabled path is the cost compiled into
+    // every hot loop when the black box is off; the enabled path is
+    // the full ring write (seq claim + 5 atomic stores) and carries
+    // the <= 100 ns/record budget from the observability contract.
+    cfpd_flight::set_enabled(false);
+    b.bench("flight_disabled", || {
+        for i in 0..ops {
+            cfpd_flight::record(cfpd_flight::EventKind::Mark, 0, 0, i as u64, 0);
+            std::hint::black_box(i);
+        }
+    });
+
+    cfpd_flight::set_enabled(true);
+    cfpd_flight::reset();
+    let flight_ops = ops / 10;
+    b.bench("flight_record", || {
+        for i in 0..flight_ops {
+            cfpd_flight::record(cfpd_flight::EventKind::Mark, 0, 1, i as u64, i as u64);
+        }
+    });
+    cfpd_flight::set_enabled(false);
+    cfpd_flight::reset();
+
     println!("telemetry overhead ({} ops/sample{})", ops, if quick { ", quick" } else { "" });
     for (name, stats) in b.rows() {
         let per_op = per_op_ns(stats, ops_for(name, ops));
@@ -84,7 +107,7 @@ fn main() {
 
 fn ops_for(name: &str, ops: usize) -> usize {
     match name {
-        "span_create_drop" | "pop_phase" => ops / 10,
+        "span_create_drop" | "pop_phase" | "flight_record" => ops / 10,
         _ => ops,
     }
 }

@@ -215,22 +215,51 @@ pub fn dlb_figure(
     rows
 }
 
+/// Atomically write `body` to `path`: stage in a `.tmp` sibling, then
+/// rename over the target, so a reader (or a crash) never sees a
+/// half-written document and both copies of a pinned bench are always
+/// byte-identical or absent.
+fn write_atomic(path: &std::path::Path, body: &[u8]) {
+    let tmp = path.with_extension("json.tmp");
+    std::fs::write(&tmp, body).expect("write staged json");
+    std::fs::rename(&tmp, path).expect("rename staged json over target");
+    println!("[written to {}]", path.display());
+}
+
 /// Write a bench JSON document to `results/<stem>[_quick].json` and,
 /// for full (non-quick) runs, a repo-root copy `<stem>.json` — the
-/// placement convention every bench binary shares.
+/// placement convention every bench binary shares. Both copies go
+/// through the same atomic staged-rename path, and every full run
+/// appends one provenance line to `results/trajectory.jsonl` so pinned
+/// numbers carry a re-measurement history.
 pub fn emit_json(stem: &str, quick: bool, body: &str) {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
     std::fs::create_dir_all(&dir).expect("create results dir");
     let file = if quick { format!("{stem}_quick.json") } else { format!("{stem}.json") };
-    let path = dir.join(file);
-    std::fs::write(&path, body.as_bytes()).expect("write json");
-    println!("[written to {}]", path.display());
+    write_atomic(&dir.join(file), body.as_bytes());
     if !quick {
         let root_path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join(format!("{stem}.json"));
-        std::fs::write(&root_path, body.as_bytes()).expect("write root json");
-        println!("[written to {}]", root_path.display());
+        write_atomic(&root_path, body.as_bytes());
+
+        let unix_s = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_secs())
+            .unwrap_or(0);
+        let line = format!(
+            "{{\"bench\":\"{stem}\",\"unix_s\":{unix_s},\"digest\":\"{:016x}\",\"bytes\":{}}}\n",
+            cfpd_testkit::digest_bytes(body.as_bytes()),
+            body.len()
+        );
+        let log = dir.join("trajectory.jsonl");
+        use std::io::Write as _;
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log)
+            .and_then(|mut f| f.write_all(line.as_bytes()))
+            .expect("append trajectory line");
     }
 }
 

@@ -561,6 +561,15 @@ fn pop_record(rank: usize, phase: Phase, t_start: f64, t_end: f64) {
         Phase::Particles => PopPhase::Particles,
     };
     pop::phase(rank, p, t_start, t_end);
+    // Flight-recorder mirror of the same attribution (timing-only: the
+    // recorder never feeds back into simulation state).
+    cfpd_flight::record(
+        cfpd_flight::EventKind::Phase,
+        rank as u32,
+        p.index() as u32,
+        t_start.to_bits(),
+        t_end.to_bits(),
+    );
 }
 
 /// Partition all mesh elements into `n` cost-weighted parts; returns
@@ -659,6 +668,7 @@ fn sync_rank(
     let capture = |fs: &FluidSolver, mine: &ParticleSet, trace: &mut Trace, now: f64| {
         trace.record_chaos(rank, now, ChaosKind::CheckpointWritten);
         cfpd_telemetry::count!("core.checkpoints_written");
+        cfpd_flight::record(cfpd_flight::EventKind::Ckpt, rank as u32, 0, now.to_bits(), 0);
         RankCheckpoint {
             rank,
             velocity: fs.velocity.clone(),
@@ -703,6 +713,7 @@ fn sync_rank(
             cursor += dur;
         }
         cfpd_telemetry::count!("core.rank_steps");
+        cfpd_flight::record(cfpd_flight::EventKind::Step, rank as u32, 0, step as u64, 0);
         log_fluid_step(&mut logical, step, rank, &report, &fs.velocity, &fs.pressure);
 
         // ---- particle phase -------------------------------------------
@@ -825,6 +836,7 @@ fn coupled_rank(
                 cursor += dur;
             }
             cfpd_telemetry::count!("core.rank_steps");
+            cfpd_flight::record(cfpd_flight::EventKind::Step, world_rank as u32, 0, step as u64, 0);
             log_fluid_step(&mut logical, step, world_rank, &report, &fs.velocity, &fs.pressure);
             // Fluid group root ships the velocity field to every particle
             // rank (Fig. 3's "send velocity"), then continues.
@@ -894,6 +906,7 @@ fn coupled_rank(
             trace.record(world_rank, Phase::Particles, tp, tp_end);
             pop_record(world_rank, Phase::Particles, tp, tp_end);
             cfpd_telemetry::count!("core.rank_steps");
+            cfpd_flight::record(cfpd_flight::EventKind::Step, world_rank as u32, 0, step as u64, 0);
             logical.push(LogicalEvent::Exchange { step, rank: world_rank, sent, received });
             let c = mine.census();
             logical.push(LogicalEvent::Particles {

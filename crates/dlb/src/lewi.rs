@@ -254,6 +254,7 @@ impl DlbNode {
         cfpd_telemetry::count!("dlb.lends");
         cfpd_telemetry::count!("dlb.cores_lent_total", lent as u64);
         cfpd_telemetry::gauge_add!("dlb.cores_lent_out", lent as i64);
+        cfpd_flight::record(cfpd_flight::EventKind::DlbLend, rank as u32, rank as u32, lent as u64, 0);
         self.redistribute();
     }
 
@@ -328,6 +329,13 @@ impl DlbNode {
         cfpd_telemetry::count!("dlb.reclaims");
         cfpd_telemetry::count!("dlb.revokes", revocations.len() as u64);
         cfpd_telemetry::gauge_add!("dlb.cores_lent_out", -(reclaimed as i64));
+        cfpd_flight::record(
+            cfpd_flight::EventKind::DlbReclaim,
+            rank as u32,
+            rank as u32,
+            reclaimed as u64,
+            0,
+        );
     }
 
     /// Predictively lend up to `want` cores *ahead* of an anticipated
@@ -379,6 +387,13 @@ impl DlbNode {
             cfpd_telemetry::count!("dlb.pre_lends");
             cfpd_telemetry::count!("dlb.cores_lent_total", cores as u64);
             cfpd_telemetry::gauge_add!("dlb.cores_lent_out", cores as i64);
+            cfpd_flight::record(
+                cfpd_flight::EventKind::DlbPreLend,
+                rank as u32,
+                rank as u32,
+                cores as u64,
+                0,
+            );
         }
         self.redistribute();
         cores

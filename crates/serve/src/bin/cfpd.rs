@@ -39,6 +39,7 @@ use std::path::{Path, PathBuf};
 
 fn main() {
     cfpd_telemetry::init_from_env();
+    cfpd_flight::init_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("help");
     let flags = Flags::parse(&args[1.min(args.len())..]);
@@ -52,9 +53,11 @@ fn main() {
         "trace" => cmd_trace(&args),
         "campaign" => cmd_campaign(&args),
         "serve" => cmd_serve(&args),
+        "flight" => cmd_flight(&args),
+        "watch" => cmd_watch(&args),
         _ => {
             eprintln!(
-                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace|campaign|serve> [flags]\n\
+                "usage: cfpd <mesh|run|profile|golden|chaos|report|trace|campaign|serve|flight|watch> [flags]\n\
                  \n\
                  mesh     --generations N  --vtk FILE\n\
                  run      --ranks N  --threads N  --dlb  --coupled F P\n\
@@ -63,12 +66,14 @@ fn main() {
                  profile  --ranks N  --particles N\n\
                  golden   --ranks N  --layout opt|default  --trace DIR\n\
                  chaos    --seed S  --ranks N  --dlb  --storm  --json  --trace DIR\n\
-                 report   --ranks N  --json  --trace DIR\n\
+                 report   --ranks N  --json  --trace DIR  --baseline JSON [--tolerance X]\n\
                  trace    export --ranks N --dlb --out DIR | analyze [--threads N] [--strategy S] [--dlb] | diff A B\n\
                  campaign expand FILE | run FILE [--jobs N] [--json] [--report PATH] [--timing]\n\
                  \x20        [--cell-timeout SECS] | report FILE --baseline PATH [--jobs N]\n\
                  serve    run [--addr A] [--data DIR] [--workers N] ... | submit FILE | status JOB\n\
-                 \x20        | result JOB | cancel JOB | metrics [--lint] | drain   (see cfpd serve)"
+                 \x20        | result JOB | cancel JOB | metrics [--lint] | drain   (see cfpd serve)\n\
+                 flight   dump [--ranks N] [--out FILE] | analyze FILE [--last N]\n\
+                 watch    JOB --addr HOST:PORT [--interval-ms MS]"
             );
             std::process::exit(if cmd == "help" { 0 } else { 2 });
         }
@@ -208,7 +213,7 @@ fn cmd_serve(args: &[String]) {
         eprintln!(
             "usage: cfpd serve run [--addr HOST:PORT] [--data DIR] [--workers N]\n\
              \x20         [--queue-cap N] [--ckpt-interval STEPS] [--cell-timeout SECS]\n\
-             \x20         [--retry-max N] [--deadline SECS] [--http-threads N]\n\
+             \x20         [--retry-max N] [--deadline SECS] [--http-threads N] [--drift-factor X]\n\
              \x20         [--fault-seed S] [--fault-crash-first N] [--fault-crash-per-mille X]\n\
              \x20         [--fault-stall-first N] [--fault-stall-ms MS] [--fault-freeze-wal-after N]\n\
              \x20      cfpd serve submit FILE --addr HOST:PORT\n\
@@ -250,6 +255,7 @@ fn cmd_serve(args: &[String]) {
             backoff_base_ms: flags.usize_or("--backoff-ms", 25) as u64,
             job_deadline: parse_secs_flag(&flags, "--deadline"),
             http_threads: flags.usize_or("--http-threads", 2),
+            drift_factor: flags.f64_or("--drift-factor", 3.0),
             fault,
         };
         let daemon = Daemon::start(cfg).unwrap_or_else(|e| {
@@ -317,6 +323,188 @@ fn cmd_serve(args: &[String]) {
     }
     if status >= 400 {
         std::process::exit(1);
+    }
+}
+
+/// `cfpd flight <dump|analyze>` — the post-mortem black box.
+///
+/// * `dump` runs the canonical golden-config case with the flight
+///   recorder on and writes the ring as a digest-guarded dump (stdout
+///   unless `--out FILE`);
+/// * `analyze FILE` digest-verifies a dump, renders the last-N-events
+///   timeline, and hands the phase events to the `cfpd_trace`
+///   critical-path analysis. Exit 1 on a corrupt dump.
+fn cmd_flight(args: &[String]) {
+    let verb = args.get(1).map(String::as_str).unwrap_or("help");
+    match verb {
+        "dump" => {
+            let flags = Flags::parse(&args[2.min(args.len())..]);
+            let ranks = flags.usize_or("--ranks", 2);
+            cfpd_telemetry::set_enabled(true);
+            cfpd_flight::set_enabled(true);
+            cfpd_flight::reset();
+            let _ = run_scenario(&Scenario::deterministic(golden_config(), ranks));
+            let text = cfpd_flight::dump_text();
+            match flags.get("--out") {
+                Some(path) => {
+                    std::fs::write(path, &text).unwrap_or_else(|e| {
+                        eprintln!("{path}: {e}");
+                        std::process::exit(2);
+                    });
+                    eprintln!("flight: wrote {path}");
+                }
+                None => print!("{text}"),
+            }
+        }
+        "analyze" => {
+            let Some(file) = args.get(2).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: cfpd flight analyze FILE [--last N]");
+                std::process::exit(2);
+            };
+            let flags = Flags::parse(&args[3.min(args.len())..]);
+            let text = std::fs::read_to_string(file).unwrap_or_else(|e| {
+                eprintln!("{file}: {e}");
+                std::process::exit(2);
+            });
+            let dump = cfpd_flight::parse_dump(&text).unwrap_or_else(|e| {
+                eprintln!("{file}: corrupt flight dump: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "flight dump: {} events ({} dropped by ring wrap, capacity {})",
+                dump.events.len(),
+                dump.dropped,
+                dump.capacity,
+            );
+            print!("{}", cfpd_flight::render_timeline(&dump.events, flags.usize_or("--last", 40)));
+            analyze_flight_phases(&dump.events);
+        }
+        _ => {
+            eprintln!("usage: cfpd flight dump [--ranks N] [--out FILE]\n\
+                       \x20      cfpd flight analyze FILE [--last N]");
+            std::process::exit(if verb == "help" { 0 } else { 2 });
+        }
+    }
+}
+
+/// Rebuild a [`cfpd_trace::Trace`] from a dump's phase events and run
+/// the critical-path analysis over it.
+fn analyze_flight_phases(events: &[cfpd_flight::FlightEvent]) {
+    const PHASES: [cfpd_trace::Phase; 6] = [
+        cfpd_trace::Phase::MpiComm,
+        cfpd_trace::Phase::Assembly,
+        cfpd_trace::Phase::Solver1,
+        cfpd_trace::Phase::Solver2,
+        cfpd_trace::Phase::Sgs,
+        cfpd_trace::Phase::Particles,
+    ];
+    let phase_events: Vec<_> = events
+        .iter()
+        .filter(|e| e.kind == cfpd_flight::EventKind::Phase && (e.code as usize) < PHASES.len())
+        .collect();
+    if phase_events.is_empty() {
+        println!("critical path: no phase events in the dump");
+        return;
+    }
+    let ranks = phase_events.iter().map(|e| e.rank as usize).max().unwrap_or(0) + 1;
+    let mut trace = Trace::new(ranks);
+    for e in &phase_events {
+        let (t0, t1) = (f64::from_bits(e.a), f64::from_bits(e.b));
+        if t1 >= t0 && t0.is_finite() && t1.is_finite() {
+            trace.record(e.rank as usize, PHASES[e.code as usize], t0, t1);
+        }
+    }
+    let cp = critical_path(&trace);
+    println!(
+        "critical path: {:.6}s useful over {:.6}s wall ({} segments, ends on rank {})",
+        cp.length,
+        cp.wall,
+        cp.segments.len(),
+        cp.end_rank,
+    );
+    print!("{}", lost_cycles(&trace).render());
+}
+
+/// `cfpd watch JOB --addr HOST:PORT` — polling terminal view of one
+/// job: a progress line per interval plus any new supervisor feed
+/// events. Exits 0 when the job completes, 1 when it fails or is
+/// cancelled.
+fn cmd_watch(args: &[String]) {
+    let Some(job) = args.get(1).filter(|a| !a.starts_with("--")) else {
+        eprintln!("usage: cfpd watch JOB --addr HOST:PORT [--interval-ms MS]");
+        std::process::exit(2);
+    };
+    let flags = Flags::parse(&args[2.min(args.len())..]);
+    let Some(addr) = flags.get("--addr") else {
+        eprintln!("watch: --addr HOST:PORT is required");
+        std::process::exit(2);
+    };
+    let interval = std::time::Duration::from_millis(flags.usize_or("--interval-ms", 500) as u64);
+    let mut since = 0u64;
+    loop {
+        // Drain the supervisor feed first (no long-poll: the progress
+        // line is the clock here).
+        let (code, body) =
+            http_call(addr, "GET", &format!("/events?since={since}&wait_ms=0"), "")
+                .unwrap_or_else(|e| {
+                    eprintln!("watch: {addr}: {e}");
+                    std::process::exit(2);
+                });
+        if code == 200 {
+            if let Ok(doc) = cfpd_testkit::parse_json(&body) {
+                if let Some(last) = doc.get("last").and_then(|v| v.as_u64()) {
+                    since = last;
+                }
+                for e in doc.get("events").and_then(|v| v.as_array()).unwrap_or(&[]) {
+                    println!(
+                        "event  seq {:>4}  {:<12} job {}  {}",
+                        e.get("seq").and_then(|v| v.as_u64()).unwrap_or(0),
+                        e.get("kind").and_then(|v| v.as_str()).unwrap_or("?"),
+                        e.get("job").and_then(|v| v.as_u64()).unwrap_or(0),
+                        e.get("detail").and_then(|v| v.as_str()).unwrap_or(""),
+                    );
+                }
+            }
+        }
+
+        let (code, body) = http_call(addr, "GET", &format!("/jobs/{job}/progress"), "")
+            .unwrap_or_else(|e| {
+                eprintln!("watch: {addr}: {e}");
+                std::process::exit(2);
+            });
+        if code != 200 {
+            eprintln!("watch: job {job}: {body}");
+            std::process::exit(2);
+        }
+        let doc = cfpd_testkit::parse_json(&body).unwrap_or_else(|e| {
+            eprintln!("watch: bad progress document: {e}");
+            std::process::exit(2);
+        });
+        let state = doc.get("state").and_then(|v| v.as_str()).unwrap_or("?").to_string();
+        let f = |k: &str| doc.get(k).and_then(|v| v.as_f64()).unwrap_or(0.0);
+        let u = |k: &str| doc.get(k).and_then(|v| v.as_u64()).unwrap_or(0);
+        let pop = doc.get("pop");
+        let pf = |k: &str| pop.and_then(|p| p.get(k)).and_then(|v| v.as_f64());
+        let mut line = format!(
+            "job {job}  {state:<12}  cell {}/{}  steps {}/{}  elapsed {:.1}s  eta {:.1}s",
+            u("cell"),
+            u("cells"),
+            u("steps_done"),
+            u("steps_total"),
+            f("elapsed_s"),
+            f("eta_s"),
+        );
+        if let (Some(pe), Some(lb), Some(ce)) =
+            (pf("parallel_efficiency"), pf("load_balance"), pf("comm_efficiency"))
+        {
+            line.push_str(&format!("  PE {pe:.3}  LB {lb:.3}  CommE {ce:.3}"));
+        }
+        println!("{line}");
+        match state.as_str() {
+            "done" => return,
+            "failed" | "cancelled" => std::process::exit(1),
+            _ => std::thread::sleep(interval),
+        }
     }
 }
 
@@ -522,6 +710,10 @@ impl Flags {
     }
 
     fn usize_or(&self, name: &str, default: usize) -> usize {
+        self.get(name).map(|v| v.parse().expect(name)).unwrap_or(default)
+    }
+
+    fn f64_or(&self, name: &str, default: f64) -> f64 {
         self.get(name).map(|v| v.parse().expect(name)).unwrap_or(default)
     }
 }
@@ -883,17 +1075,38 @@ fn cmd_report(flags: &Flags) {
         1.0
     };
 
+    let mut w = cfpd_telemetry::JsonWriter::new();
+    w.begin_object();
+    w.key("ranks").u64(n as u64);
+    w.key("wall_time_s").f64(ts.wall_time);
+    w.key("parallel_efficiency").f64(ts.parallel_efficiency);
+    w.key("load_balance").f64(lb);
+    w.key("comm_efficiency").f64(comm_e);
+    w.end_object();
+    // The snapshot renders itself; splice the two documents into one.
+    let doc =
+        format!(r#"{{"telemetry":{},"trace_crosscheck":{}}}"#, snap.render_json(), w.finish());
+
+    if let Some(baseline_path) = flags.get("--baseline") {
+        let baseline = std::fs::read_to_string(baseline_path).unwrap_or_else(|e| {
+            eprintln!("{baseline_path}: {e}");
+            std::process::exit(2);
+        });
+        let tol = flags.f64_or("--tolerance", 0.25);
+        match diff_report_docs(&doc, &baseline, tol) {
+            Ok((rendered, regressions)) => {
+                print!("{rendered}");
+                std::process::exit(i32::from(regressions > 0));
+            }
+            Err(e) => {
+                eprintln!("report --baseline: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
     if flags.has("--json") {
-        let mut w = cfpd_telemetry::JsonWriter::new();
-        w.begin_object();
-        w.key("ranks").u64(n as u64);
-        w.key("wall_time_s").f64(ts.wall_time);
-        w.key("parallel_efficiency").f64(ts.parallel_efficiency);
-        w.key("load_balance").f64(lb);
-        w.key("comm_efficiency").f64(comm_e);
-        w.end_object();
-        // The snapshot renders itself; splice the two documents into one.
-        println!(r#"{{"telemetry":{},"trace_crosscheck":{}}}"#, snap.render_json(), w.finish());
+        println!("{doc}");
     } else {
         print!("{}", snap.render_table());
         println!("[trace crosscheck]");
@@ -911,6 +1124,108 @@ fn cmd_report(flags: &Flags) {
             );
         }
     }
+}
+
+/// Diff a fresh `cfpd report --json` document against a prior capture,
+/// with per-metric policies (the campaign `DeltaReport` idiom applied
+/// to the telemetry snapshot):
+///
+/// * POP / crosscheck **efficiencies** regress only when they *drop*
+///   more than `tol` relative to the baseline — higher is always fine;
+/// * **counters** regress when they move more than `tol` relative in
+///   either direction (they are deterministic for the canonical case,
+///   but tolerant comparison keeps the tool usable across refactors);
+/// * wall times, gauges and histograms are timing — never compared;
+/// * metrics present on only one side are reported as drift, not
+///   regression (new code adds counters routinely).
+fn diff_report_docs(current: &str, baseline: &str, tol: f64) -> Result<(String, usize), String> {
+    use std::fmt::Write as _;
+    let cur = cfpd_testkit::parse_json(current).map_err(|e| format!("current report: {e}"))?;
+    let base = cfpd_testkit::parse_json(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let tol = if tol.is_finite() && tol >= 0.0 { tol } else { 0.25 };
+
+    let path_f64 = |doc: &cfpd_testkit::JsonValue, path: &[&str]| -> Option<f64> {
+        let mut v = doc.clone();
+        for key in path {
+            v = v.get(key)?.clone();
+        }
+        v.as_f64()
+    };
+
+    let mut out = String::new();
+    let mut regressions = 0usize;
+    let mut row = |name: &str, cur: Option<f64>, base: Option<f64>, lower_is_worse: bool| {
+        let (tag, detail) = match (cur, base) {
+            (Some(c), Some(b)) => {
+                let scale = b.abs().max(if lower_is_worse { b.abs() } else { 1.0 }).max(1e-12);
+                let rel = (c - b) / scale;
+                let regressed =
+                    if lower_is_worse { rel < -tol } else { rel.abs() > tol };
+                if regressed {
+                    regressions += 1;
+                    ("REGRESS", format!("{b:.6} -> {c:.6} ({:+.1}%)", rel * 100.0))
+                } else if c != b {
+                    ("drift  ", format!("{b:.6} -> {c:.6} ({:+.1}%)", rel * 100.0))
+                } else {
+                    ("ok     ", format!("{c:.6}"))
+                }
+            }
+            (Some(c), None) => ("drift  ", format!("(new) {c:.6}")),
+            (None, Some(b)) => ("drift  ", format!("{b:.6} -> (gone)")),
+            (None, None) => return,
+        };
+        let _ = writeln!(out, "{tag}  {name:<44}  {detail}");
+    };
+
+    for (section, lower_is_worse) in [("telemetry", true), ("trace_crosscheck", true)] {
+        for metric in ["parallel_efficiency", "load_balance", "comm_efficiency"] {
+            let path: Vec<&str> = if section == "telemetry" {
+                vec!["telemetry", "pop", metric]
+            } else {
+                vec![section, metric]
+            };
+            row(
+                &format!("{section}.{metric}"),
+                path_f64(&cur, &path),
+                path_f64(&base, &path),
+                lower_is_worse,
+            );
+        }
+    }
+
+    // Counters: union of both sides, in current-then-baseline order.
+    let counters = |doc: &cfpd_testkit::JsonValue| -> Vec<(String, f64)> {
+        match doc.get("telemetry").and_then(|t| t.get("counters")) {
+            Some(cfpd_testkit::JsonValue::Object(members)) => members
+                .iter()
+                .filter_map(|(k, v)| v.as_f64().map(|f| (k.clone(), f)))
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let cur_counters = counters(&cur);
+    let base_counters = counters(&base);
+    for (name, c) in &cur_counters {
+        let b = base_counters.iter().find(|(k, _)| k == name).map(|(_, v)| *v);
+        row(&format!("counter.{name}"), Some(*c), b, false);
+    }
+    for (name, b) in &base_counters {
+        if !cur_counters.iter().any(|(k, _)| k == name) {
+            row(&format!("counter.{name}"), None, Some(*b), false);
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "verdict: {} (tolerance {:.0}%)",
+        if regressions == 0 {
+            "zero regressions".to_string()
+        } else {
+            format!("{regressions} regression(s)")
+        },
+        tol * 100.0
+    );
+    Ok((out, regressions))
 }
 
 fn cmd_profile(flags: &Flags) {

@@ -22,10 +22,12 @@
 //! text, see [`crate::prom`]).
 
 use crate::fault::CellFault;
+use crate::feed::EventFeed;
 use crate::runner::{checkpointable, finish_cell_metrics, run_segment};
 use crate::snap::{CellAcc, CellSnapshot};
 use crate::state::{Job, JobState, ResumePoint, Store};
 use crate::wal::{self, CellDoneRec, PersistGate, Wal, WalRecord};
+use crate::watchdog::Watchdog;
 use crate::{http, ServeFaultPlan};
 use cfpd_campaign::{
     expand, run_bounded, run_cells_with, CampaignSpec, Cell, CellFailure, CellMetrics,
@@ -38,7 +40,7 @@ use std::net::TcpListener;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration. The defaults suit the test suite (ephemeral
 /// port, tiny pools); `cfpd serve run` overrides from flags.
@@ -64,6 +66,9 @@ pub struct ServeConfig {
     pub job_deadline: Option<Duration>,
     /// Accept-pool size (threads handling HTTP connections).
     pub http_threads: usize,
+    /// Regression watchdog: warn when a phase's per-step time exceeds
+    /// this factor × its rolling median across completed cells.
+    pub drift_factor: f64,
     pub fault: ServeFaultPlan,
 }
 
@@ -80,6 +85,7 @@ impl Default for ServeConfig {
             backoff_base_ms: 25,
             job_deadline: None,
             http_threads: 2,
+            drift_factor: 3.0,
             fault: ServeFaultPlan::default(),
         }
     }
@@ -94,6 +100,11 @@ struct Shared {
     drain: AtomicBool,
     kill: AtomicBool,
     workers_alive: AtomicUsize,
+    /// Supervisor event feed (`GET /events` long-polls it). Leaf lock:
+    /// safe to post while holding the store mutex.
+    feed: EventFeed,
+    /// Rolling per-phase medians across completed cells.
+    watchdog: Mutex<Watchdog>,
 }
 
 /// A running daemon. [`Daemon::join`] blocks until shutdown (drain or
@@ -108,6 +119,7 @@ impl Daemon {
     pub fn start(cfg: ServeConfig) -> std::io::Result<Daemon> {
         std::fs::create_dir_all(&cfg.data_dir)?;
         cfpd_telemetry::set_enabled(true);
+        cfpd_flight::set_enabled(true);
         let gate = match cfg.fault.freeze_wal_after {
             Some(n) => PersistGate::kill_after(n),
             None => PersistGate::unlimited(),
@@ -125,6 +137,7 @@ impl Daemon {
 
         let shared = Arc::new(Shared {
             workers_alive: AtomicUsize::new(cfg.workers),
+            watchdog: Mutex::new(Watchdog::new(cfg.drift_factor)),
             cfg,
             store: Mutex::new(store),
             cv: Condvar::new(),
@@ -132,6 +145,7 @@ impl Daemon {
             gate,
             drain: AtomicBool::new(false),
             kill: AtomicBool::new(false),
+            feed: EventFeed::new(1024),
         });
 
         let mut threads = Vec::new();
@@ -385,6 +399,11 @@ fn try_dispatch(sh: &Shared, store: &mut Store) -> Option<u64> {
                 cell: job.cur_cell,
                 attempt: job.attempt,
             });
+            sh.feed.post(
+                "started",
+                id,
+                format!("cell {} attempt {}", job.cur_cell, job.attempt),
+            );
             store.set_state(id, JobState::Running);
             return Some(id);
         }
@@ -428,6 +447,7 @@ fn drive(sh: &Shared, id: u64) -> StopCause {
                 sh.wal.append(&WalRecord::Cancel { job: id });
                 store.set_state(id, JobState::Cancelled);
                 cfpd_telemetry::count!("serve.jobs_cancelled");
+                sh.feed.post("cancelled", id, "cancel honoured between cells");
                 return StopCause::Finished;
             }
             if let Some(deadline) = sh.cfg.job_deadline {
@@ -437,8 +457,11 @@ fn drive(sh: &Shared, id: u64) -> StopCause {
                         deadline.as_secs_f64()
                     );
                     sh.wal.append(&WalRecord::Fail { job: id, reason: reason.clone() });
-                    store.set_state(id, JobState::Failed(reason));
+                    store.set_state(id, JobState::Failed(reason.clone()));
                     cfpd_telemetry::count!("serve.jobs_failed");
+                    sh.feed.post("failed", id, reason);
+                    drop(store);
+                    dump_flight(sh, id, "deadline kill");
                     return StopCause::Finished;
                 }
             }
@@ -447,6 +470,7 @@ fn drive(sh: &Shared, id: u64) -> StopCause {
                 sh.wal.append(&WalRecord::Done { job: id });
                 store.set_state(id, JobState::Done);
                 cfpd_telemetry::count!("serve.jobs_done");
+                sh.feed.post("done", id, "all cells complete");
                 return StopCause::Finished;
             }
             if job.preempt_requested {
@@ -457,6 +481,7 @@ fn drive(sh: &Shared, id: u64) -> StopCause {
             (job.cells[job.cur_cell].clone(), job.attempt, job.resume.clone())
         };
 
+        let cell_t0 = Instant::now();
         let fault = sh.cfg.fault.decide(id, cell.index as u64, attempt);
         let outcome = if checkpointable(&cell.scenario) {
             match drive_segments(sh, id, &cell, attempt, resume, fault) {
@@ -469,6 +494,8 @@ fn drive(sh: &Shared, id: u64) -> StopCause {
 
         match outcome {
             Ok(metrics) => {
+                let steps = cell.scenario.config.steps as u64;
+                let wall_s = cell_t0.elapsed().as_secs_f64();
                 let mut store = sh.store.lock().unwrap();
                 let cur = store.jobs[&id].cur_cell;
                 sh.wal.append(&WalRecord::CellDone {
@@ -481,7 +508,11 @@ fn drive(sh: &Shared, id: u64) -> StopCause {
                 job.cur_cell += 1;
                 job.attempt = 0;
                 job.resume = None;
+                let total = job.cells.len();
                 let _ = std::fs::remove_file(wal::snap_path(&sh.cfg.data_dir, id, cur));
+                sh.feed.post("cell_done", id, format!("cell {} of {total}", cur + 1));
+                drop(store);
+                observe_completion(sh, id, steps, wall_s);
             }
             Err(reason) => {
                 if let Some(cause) = handle_attempt_failure(sh, id, reason) {
@@ -505,9 +536,42 @@ fn park(sh: &Shared, store: &mut Store, id: u64) -> StopCause {
     enqueue(store, id);
     if was_preempt {
         cfpd_telemetry::count!("serve.preemptions");
+        sh.feed.post("preempted", id, format!("parked at cell {cell}"));
     }
     sh.cv.notify_all();
     StopCause::Parked
+}
+
+/// Feed a completed cell's timing to the regression watchdog and turn
+/// any drift it reports into feed warnings.
+fn observe_completion(sh: &Shared, id: u64, steps: u64, wall_s: f64) {
+    let warnings = sh.watchdog.lock().unwrap().observe_cell(steps, wall_s);
+    for w in warnings {
+        cfpd_telemetry::count!("serve.drift_warnings");
+        sh.feed.post(
+            "phase_drift",
+            id,
+            format!(
+                "phase {} at {:.2}x its rolling median ({:.3e}s vs {:.3e}s per step)",
+                w.phase, w.drift, w.per_step_s, w.median_s
+            ),
+        );
+    }
+}
+
+/// Dump the flight-recorder ring next to the job's WAL as the
+/// post-mortem black box. Honours the simulated-crash discipline: a
+/// frozen gate means "the process is already dead", so nothing may be
+/// written. Overwrites any earlier dump — last death wins.
+fn dump_flight(sh: &Shared, id: u64, cause: &str) {
+    if sh.gate.frozen() || !cfpd_flight::enabled() {
+        return;
+    }
+    let path = wal::flight_path(&sh.cfg.data_dir, id);
+    if std::fs::write(&path, cfpd_flight::dump_text()).is_ok() {
+        cfpd_telemetry::count!("serve.flight_dumps");
+        sh.feed.post("flight_dump", id, format!("{cause}; dump at {}", path.display()));
+    }
 }
 
 enum SegmentsOutcome {
@@ -623,6 +687,7 @@ fn drive_segments(
                 sh.wal.append(&WalRecord::Cancel { job: id });
                 store.set_state(id, JobState::Cancelled);
                 cfpd_telemetry::count!("serve.jobs_cancelled");
+                sh.feed.post("cancelled", id, "cancel honoured at segment boundary");
                 return SegmentsOutcome::Stopped(StopCause::Finished);
             }
             let job = store.jobs.get_mut(&id).unwrap();
@@ -681,10 +746,13 @@ fn handle_attempt_failure(sh: &Shared, id: u64, reason: String) -> Option<StopCa
             sh.wal.append(&WalRecord::CellFail { job: id, cell: cur, reason: reason.clone() });
             let job = store.jobs.get_mut(&id).unwrap();
             let cell_id = job.cells[cur].id.clone();
-            job.cells_done[cur] = Some(Err(CellFailure { id: cell_id, message: reason }));
+            job.cells_done[cur] = Some(Err(CellFailure { id: cell_id, message: reason.clone() }));
             job.cur_cell += 1;
             job.attempt = 0;
             job.resume = None;
+            sh.feed.post("cell_failed", id, reason);
+            drop(store);
+            dump_flight(sh, id, "cell failed terminally");
             return None;
         }
         // Exponential backoff with seeded jitter, capped — deterministic
@@ -698,9 +766,14 @@ fn handle_attempt_failure(sh: &Shared, id: u64, reason: String) -> Option<StopCa
             cell: cur,
             attempt,
             backoff_ms,
-            reason,
+            reason: reason.clone(),
         });
         cfpd_telemetry::count!("serve.retries");
+        sh.feed.post(
+            "retried",
+            id,
+            format!("cell {cur} attempt {attempt} after {backoff_ms}ms: {reason}"),
+        );
     }
     if sh.kill.load(Ordering::SeqCst) {
         return Some(StopCause::Killed);
@@ -748,7 +821,13 @@ fn accept_loop(listener: TcpListener, sh: &Shared) {
 }
 
 fn route(sh: &Shared, req: &http::Request) -> http::Response {
-    let segs: Vec<&str> = req.path.trim_matches('/').split('/').collect();
+    // `req.path` may carry a query string (`/events?since=3`); segment
+    // matching is on the path alone.
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let segs: Vec<&str> = path.trim_matches('/').split('/').collect();
     match (req.method.as_str(), segs.as_slice()) {
         ("GET", ["healthz"]) => http::Response::text(200, "ok\n"),
         ("GET", ["metrics"]) => http::Response {
@@ -765,9 +844,109 @@ fn route(sh: &Shared, req: &http::Request) -> http::Response {
         ("POST", ["jobs"]) => submit(sh, &req.body),
         ("GET", ["jobs", id]) => with_job(sh, id, status_json),
         ("GET", ["jobs", id, "result"]) => with_job(sh, id, result_json),
+        ("GET", ["jobs", id, "progress"]) => progress(sh, id),
+        ("GET", ["events"]) => events(sh, query),
         ("DELETE", ["jobs", id]) => cancel(sh, id),
         _ => http::Response::error(404, "no such endpoint"),
     }
+}
+
+/// `GET /events?since=N&wait_ms=M`: long-poll the supervisor feed.
+/// Waits bounded well under the HTTP client's 30 s read timeout.
+fn events(sh: &Shared, query: &str) -> http::Response {
+    let mut since = 0u64;
+    let mut wait_ms = 5_000u64;
+    for kv in query.split('&') {
+        match kv.split_once('=') {
+            Some(("since", v)) => since = v.parse().unwrap_or(0),
+            Some(("wait_ms", v)) => wait_ms = v.parse().unwrap_or(wait_ms),
+            _ => {}
+        }
+    }
+    let (evs, last, first) = sh.feed.since(since, Duration::from_millis(wait_ms.min(10_000)));
+    http::Response::json(200, EventFeed::render_json(&evs, last, first))
+}
+
+/// `GET /jobs/:id/progress`: in-flight counters, live POP efficiencies
+/// (same formatter as the post-run report, so the numbers agree to the
+/// last ULP), and an ETA from observed step rates — seeded by the
+/// perfmodel demand curve until the first cell completes.
+fn progress(sh: &Shared, id: &str) -> http::Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return http::Response::error(400, "job id is not a number");
+    };
+    let store = sh.store.lock().unwrap();
+    let Some(job) = store.jobs.get(&id) else {
+        return http::Response::error(404, "no such job");
+    };
+
+    let steps_total: u64 = job.cells.iter().map(|c| c.scenario.config.steps as u64).sum();
+    let remaining = job.remaining_steps() as u64;
+    let steps_done = steps_total.saturating_sub(remaining);
+    let elapsed_s = job.admitted.elapsed().as_secs_f64();
+    let terminal = job.state.is_terminal();
+    // Measured rate first (this job's own, then the daemon's rolling
+    // median across completed cells), perfmodel prior as cold-start.
+    let rate = if steps_done > 0 && elapsed_s > 0.0 {
+        elapsed_s / steps_done as f64
+    } else {
+        sh.watchdog
+            .lock()
+            .unwrap()
+            .step_seconds()
+            .unwrap_or_else(|| model_step_seconds(job.cells.first()))
+    };
+    let eta_s = if terminal { 0.0 } else { remaining as f64 * rate };
+
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("job").u64(job.id);
+    w.key("name").string(&job.name);
+    w.key("state").string(job.state.label());
+    w.key("cell").u64(job.cur_cell as u64);
+    w.key("cells").u64(job.cells.len() as u64);
+    w.key("cells_done").u64(job.cells_finished() as u64);
+    w.key("cells_failed").u64(job.cells_failed() as u64);
+    w.key("attempt").u64(job.attempt as u64);
+    w.key("retries").u64(job.retries);
+    w.key("steps_total").u64(steps_total);
+    w.key("steps_done").u64(steps_done);
+    w.key("elapsed_s").f64(elapsed_s);
+    w.key("eta_s").f64(eta_s);
+    w.key("pop");
+    match cfpd_telemetry::pop::report() {
+        None => {
+            w.begin_object().end_object();
+        }
+        Some(pop) => {
+            w.begin_object();
+            w.key("parallel_efficiency").f64(pop.parallel_efficiency);
+            w.key("load_balance").f64(pop.load_balance);
+            w.key("comm_efficiency").f64(pop.comm_efficiency);
+            w.key("per_phase_s").begin_object();
+            for (name, secs) in &pop.per_phase {
+                w.key(name).f64(*secs);
+            }
+            w.end_object();
+            w.end_object();
+        }
+    }
+    w.end_object();
+    http::Response::json(200, w.finish())
+}
+
+/// Cold-start step-rate prior from the perfmodel platform: one step's
+/// particle demand retired at MareNostrum4 MPI-only speed across the
+/// cell's ranks, plus one collective. Deliberately rough — it only has
+/// to be finite and positive until a real cell time replaces it.
+fn model_step_seconds(cell: Option<&Cell>) -> f64 {
+    let platform = cfpd_perfmodel::Platform::mare_nostrum4();
+    let (ranks, particles) = match cell {
+        Some(c) => (c.scenario.ranks.max(1), c.scenario.config.num_particles.max(1)),
+        None => (1, 1),
+    };
+    let speed = platform.core_speed() * ranks as f64;
+    particles as f64 / speed + platform.comm_latency
 }
 
 fn submit(sh: &Shared, body: &str) -> http::Response {
@@ -789,6 +968,7 @@ fn submit(sh: &Shared, body: &str) -> http::Response {
     let mut store = sh.store.lock().unwrap();
     if store.live_jobs() >= sh.cfg.queue_cap {
         cfpd_telemetry::count!("serve.jobs_shed");
+        sh.feed.post("shed", 0, "admission queue full");
         let mut resp = http::Response::error(503, "admission queue full");
         resp.headers.push(("retry-after".to_string(), "1".to_string()));
         return resp;
@@ -805,6 +985,7 @@ fn submit(sh: &Shared, body: &str) -> http::Response {
         name: spec.name.clone(),
         spec_digest: digest_bytes(body.as_bytes()),
     });
+    sh.feed.post("admitted", id, format!("{} ({} cells)", spec.name, cells.len()));
     store.register_job(Job::new(id, spec, cells));
     enqueue(&mut store, id);
     maybe_preempt(&mut store);
@@ -918,6 +1099,7 @@ fn cancel(sh: &Shared, id: &str) -> http::Response {
             sh.wal.append(&WalRecord::Cancel { job: id });
             store.set_state(id, JobState::Cancelled);
             cfpd_telemetry::count!("serve.jobs_cancelled");
+            sh.feed.post("cancelled", id, "cancelled before running");
             (200, "cancelled")
         }
     };

@@ -37,15 +37,18 @@
 
 pub mod daemon;
 pub mod fault;
+pub mod feed;
 pub mod http;
 pub mod prom;
 pub mod runner;
 pub mod snap;
 pub mod state;
 pub mod wal;
+pub mod watchdog;
 
 pub use daemon::{Daemon, ServeConfig};
 pub use fault::{CellFault, ServeFaultPlan};
+pub use feed::{EventFeed, FeedEvent};
 pub use http::{http_call, Request, Response};
 pub use prom::lint_prometheus;
 pub use snap::{CellAcc, CellSnapshot};

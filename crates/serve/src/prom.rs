@@ -7,8 +7,11 @@
 //!   for histograms) has a preceding `# TYPE`, declared exactly once;
 //! * metric names match `[a-zA-Z_:][a-zA-Z0-9_:]*`, label names
 //!   `[a-zA-Z_][a-zA-Z0-9_]*`, label values are quoted with no raw
-//!   control characters;
-//! * sample values parse as f64 (`+Inf`/`-Inf`/`NaN` allowed);
+//!   control characters and only the legal escapes (`\\`, `\"`, `\n`);
+//! * sample values parse as *finite* f64 — `+Inf`/`-Inf`/`NaN` sample
+//!   values are rejected (our renderers never emit them; a NaN gauge is
+//!   always an upstream bug). `le="+Inf"` is a label *value* and stays
+//!   legal;
 //! * histogram `_bucket` series are cumulative (non-decreasing), end
 //!   with `le="+Inf"`, and agree with `_count`;
 //! * the document ends with a newline.
@@ -65,14 +68,12 @@ pub fn lint_prometheus(text: &str) -> Result<usize, String> {
             Some(pair) => pair,
             None => return fail("sample line has no value".to_string()),
         };
-        let value: f64 = match value {
-            "+Inf" => f64::INFINITY,
-            "-Inf" => f64::NEG_INFINITY,
-            "NaN" => f64::NAN,
-            v => match v.parse() {
-                Ok(x) => x,
-                Err(_) => return fail(format!("unparseable value {value:?}")),
-            },
+        // Rust's f64 parser accepts "inf"/"NaN" spellings, so non-finite
+        // results must be caught after the parse, not before.
+        let value: f64 = match value.parse() {
+            Ok(x) if f64::is_finite(x) => x,
+            Ok(_) => return fail(format!("non-finite sample value {value:?}")),
+            Err(_) => return fail(format!("unparseable value {value:?}")),
         };
         let (name, labels) = match name_labels.split_once('{') {
             Some((n, rest)) => match rest.strip_suffix('}') {
@@ -100,6 +101,24 @@ pub fn lint_prometheus(text: &str) -> Result<usize, String> {
                 };
                 if unquoted.chars().any(|c| c.is_control()) {
                     return fail("raw control character in label value".to_string());
+                }
+                let mut chars = unquoted.chars();
+                while let Some(c) = chars.next() {
+                    match c {
+                        '\\' => match chars.next() {
+                            Some('\\' | '"' | 'n') => {}
+                            other => {
+                                return fail(format!(
+                                    "illegal escape \\{} in label value",
+                                    other.map(String::from).unwrap_or_default()
+                                ))
+                            }
+                        },
+                        '"' => {
+                            return fail("unescaped quote in label value".to_string())
+                        }
+                        _ => {}
+                    }
                 }
                 if lname == "le" {
                     le = Some(unquoted);
@@ -185,15 +204,23 @@ fn valid_label_name(name: &str) -> bool {
     chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
 }
 
-/// Split `a="x",b="y"` on commas outside quotes.
+/// Split `a="x",b="y"` on commas outside quotes, honouring backslash
+/// escapes inside quoted values: `a="x\",\"y"` is ONE label whose value
+/// contains a quote and a comma, not two.
 fn split_labels(inner: &str) -> Vec<&str> {
     let mut out = Vec::new();
-    let mut depth_quote = false;
+    let mut in_quote = false;
+    let mut escaped = false;
     let mut start = 0;
     for (i, c) in inner.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
         match c {
-            '"' => depth_quote = !depth_quote,
-            ',' if !depth_quote => {
+            '\\' if in_quote => escaped = true,
+            '"' => in_quote = !in_quote,
+            ',' if !in_quote => {
                 out.push(&inner[start..i]);
                 start = i + 1;
             }
@@ -257,6 +284,56 @@ cfpd_phase{phase=\"mpi\",rank=\"0\"} 0.25
             let err = lint_prometheus(doc).expect_err(doc);
             assert!(err.contains(needle), "{doc:?} -> {err}");
         }
+    }
+
+    #[test]
+    fn non_finite_sample_values_are_rejected() {
+        for value in ["NaN", "+Inf", "-Inf", "inf", "-inf", "nan"] {
+            let doc = format!("# TYPE cfpd_x gauge\ncfpd_x {value}\n");
+            let err = lint_prometheus(&doc).expect_err(&doc);
+            assert!(err.contains("non-finite"), "{value:?} -> {err}");
+        }
+        // `le="+Inf"` is a label value, not a sample value: still legal
+        // (exercised by every histogram in accepts_a_well_formed_document).
+    }
+
+    #[test]
+    fn label_value_escaping_round_trips_through_the_renderer() {
+        use cfpd_telemetry::{PopReport, TelemetrySnapshot};
+        // A hostile phase name: quote, backslash and newline. The
+        // renderer must escape it such that the lint's escape-aware
+        // label splitter accepts the document.
+        let snap = TelemetrySnapshot {
+            counters: vec![],
+            gauges: vec![],
+            histograms: vec![],
+            pop: Some(PopReport {
+                ranks: 1,
+                wall_time: 1.0,
+                useful_time: 1.0,
+                mpi_time: 0.0,
+                parallel_efficiency: 1.0,
+                load_balance: 1.0,
+                comm_efficiency: 1.0,
+                per_rank_useful: vec![1.0],
+                per_phase: vec![("we\"ird\\ph\nase", 1.0), ("com,ma", 2.0)],
+                dropped: 0,
+            }),
+        };
+        let doc = snap.render_prometheus();
+        assert!(doc.contains(r#"phase="we\"ird\\ph\nase""#), "escaped form present:\n{doc}");
+        let n = lint_prometheus(&doc).expect("escaped hostile labels must lint clean");
+        assert!(n >= 9);
+    }
+
+    #[test]
+    fn illegal_escapes_and_bare_quotes_in_label_values_are_rejected() {
+        let doc = "# TYPE cfpd_x gauge\ncfpd_x{l=\"a\\tb\"} 1\n";
+        let err = lint_prometheus(doc).unwrap_err();
+        assert!(err.contains("illegal escape"), "{err}");
+        // A quoted value containing an escaped comma+quote is ONE label.
+        let doc = "# TYPE cfpd_x gauge\ncfpd_x{l=\"x\\\",\\\"y\"} 1\n";
+        assert_eq!(lint_prometheus(doc), Ok(1));
     }
 
     #[test]

@@ -115,6 +115,39 @@ pub fn dec(s: &str) -> Result<String, String> {
 }
 
 impl WalRecord {
+    /// Stable numeric kind for the flight-recorder mirror (the dump's
+    /// `wal kind#<code>` events; order matches the enum).
+    pub fn kind_code(&self) -> u32 {
+        match self {
+            WalRecord::Submit { .. } => 1,
+            WalRecord::Start { .. } => 2,
+            WalRecord::Ckpt { .. } => 3,
+            WalRecord::CellDone { .. } => 4,
+            WalRecord::CellFail { .. } => 5,
+            WalRecord::Retry { .. } => 6,
+            WalRecord::Preempt { .. } => 7,
+            WalRecord::Done { .. } => 8,
+            WalRecord::Fail { .. } => 9,
+            WalRecord::Cancel { .. } => 10,
+        }
+    }
+
+    /// The record's subject job.
+    pub fn job_id(&self) -> u64 {
+        match self {
+            WalRecord::Submit { job, .. }
+            | WalRecord::Start { job, .. }
+            | WalRecord::Ckpt { job, .. }
+            | WalRecord::CellDone { job, .. }
+            | WalRecord::CellFail { job, .. }
+            | WalRecord::Retry { job, .. }
+            | WalRecord::Preempt { job, .. }
+            | WalRecord::Done { job }
+            | WalRecord::Fail { job, .. }
+            | WalRecord::Cancel { job } => *job,
+        }
+    }
+
     /// The space-delimited record body (everything after the digest).
     pub fn render_body(&self) -> String {
         match self {
@@ -322,6 +355,15 @@ impl Wal {
         let ok = file.write_all(line.as_bytes()).and_then(|_| file.flush()).is_ok();
         if ok {
             cfpd_telemetry::count!("serve.wal_appends");
+            // Mirror the append into the flight ring so a post-mortem
+            // dump's tail lines up with the WAL's final records.
+            cfpd_flight::record(
+                cfpd_flight::EventKind::Wal,
+                rec.job_id() as u32,
+                rec.kind_code(),
+                seq,
+                0,
+            );
         }
         ok
     }
@@ -398,6 +440,11 @@ pub fn spec_path(dir: &Path, job: u64) -> PathBuf {
 /// Snapshot file path for a (job, cell).
 pub fn snap_path(dir: &Path, job: u64, cell: usize) -> PathBuf {
     dir.join(format!("job-{job}-cell-{cell}.snap"))
+}
+
+/// Post-mortem flight-recorder dump path for a job (next to its WAL).
+pub fn flight_path(dir: &Path, job: u64) -> PathBuf {
+    dir.join(format!("job-{job}.flight"))
 }
 
 #[cfg(test)]

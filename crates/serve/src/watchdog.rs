@@ -1,0 +1,186 @@
+//! The regression watchdog: rolling per-phase medians across completed
+//! cells, exported as `serve.phase_drift_<phase>` gauges (drift in
+//! per-mille of the rolling median) plus a warning feed entry when a
+//! phase exceeds its rolling baseline by a configurable factor — the
+//! serving-side analogue of the `BENCH_hotpath.json` trajectory gate.
+//!
+//! Attribution caveat: the POP table is daemon-global, so with several
+//! cells running concurrently a completion observes the *mixed* phase
+//! time accumulated since the previous completion. Rolling medians
+//! absorb that noise; the watchdog detects sustained drift, it does not
+//! bill individual cells.
+
+use cfpd_telemetry::pop::{self, PopPhase};
+use std::collections::VecDeque;
+
+/// Rolling window length per phase (completed cells).
+const WINDOW: usize = 32;
+/// Completions required before drift warnings can fire.
+const MIN_SAMPLES: usize = 3;
+
+/// A drift observation the daemon turns into a feed warning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DriftWarning {
+    pub phase: &'static str,
+    /// Current per-step phase seconds ÷ rolling median.
+    pub drift: f64,
+    pub per_step_s: f64,
+    pub median_s: f64,
+}
+
+pub struct Watchdog {
+    /// Warn when a phase exceeds `factor ×` its rolling median.
+    factor: f64,
+    /// Cumulative per-phase seconds at the previous completion.
+    prev_phase: [f64; PopPhase::ALL.len()],
+    /// Rolling per-step phase seconds, newest at the back.
+    windows: [VecDeque<f64>; PopPhase::ALL.len()],
+    /// Last exported per-mille drift (gauges are additive, so exporting
+    /// a new absolute value means adding the difference).
+    exported: [i64; PopPhase::ALL.len()],
+    /// Rolling observed wall seconds per simulation step (ETA input).
+    step_wall: VecDeque<f64>,
+}
+
+impl Watchdog {
+    pub fn new(factor: f64) -> Watchdog {
+        Watchdog {
+            factor: if factor.is_finite() && factor > 1.0 { factor } else { 3.0 },
+            prev_phase: [0.0; PopPhase::ALL.len()],
+            windows: std::array::from_fn(|_| VecDeque::new()),
+            exported: [0; PopPhase::ALL.len()],
+            step_wall: VecDeque::new(),
+        }
+    }
+
+    /// Record a completed cell of `steps` steps that took `wall_s`
+    /// seconds, reading the live POP table for phase attribution.
+    /// Returns the phases that drifted past the factor.
+    pub fn observe_cell(&mut self, steps: u64, wall_s: f64) -> Vec<DriftWarning> {
+        if steps > 0 && wall_s.is_finite() && wall_s > 0.0 {
+            self.step_wall.push_back(wall_s / steps as f64);
+            while self.step_wall.len() > 2 * WINDOW {
+                self.step_wall.pop_front();
+            }
+        }
+        let Some(report) = pop::report() else { return Vec::new() };
+        let mut warnings = Vec::new();
+        for (i, (name, cum)) in report.per_phase.iter().enumerate() {
+            let delta = (cum - self.prev_phase[i]).max(0.0);
+            self.prev_phase[i] = *cum;
+            if steps == 0 {
+                continue;
+            }
+            let per_step = delta / steps as f64;
+            let window = &mut self.windows[i];
+            let median = median_of(window);
+            window.push_back(per_step);
+            while window.len() > WINDOW {
+                window.pop_front();
+            }
+            let Some(median) = median else { continue };
+            if median <= 0.0 || window.len() <= MIN_SAMPLES {
+                continue;
+            }
+            let drift = per_step / median;
+            self.export_drift(i, drift);
+            if drift > self.factor {
+                warnings.push(DriftWarning {
+                    phase: name,
+                    drift,
+                    per_step_s: per_step,
+                    median_s: median,
+                });
+            }
+        }
+        warnings
+    }
+
+    /// Set the `serve.phase_drift_<phase>` gauge to `drift` per-mille.
+    fn export_drift(&mut self, phase: usize, drift: f64) {
+        let mille = (drift * 1000.0).round() as i64;
+        let delta = mille - self.exported[phase];
+        self.exported[phase] = mille;
+        if cfpd_telemetry::enabled() && delta != 0 {
+            cfpd_telemetry::gauge(drift_gauge(phase)).add_unchecked(delta);
+        }
+    }
+
+    /// Median observed wall seconds per simulation step, if any cell
+    /// has completed (the ETA's measured rate).
+    pub fn step_seconds(&self) -> Option<f64> {
+        median_of(&self.step_wall)
+    }
+}
+
+/// The closed phase set maps to static gauge names (the registry
+/// interns `&'static str` keys; never format dynamic names).
+fn drift_gauge(phase: usize) -> &'static str {
+    match phase {
+        0 => "serve.phase_drift_mpi",
+        1 => "serve.phase_drift_assembly",
+        2 => "serve.phase_drift_solver1",
+        3 => "serve.phase_drift_solver2",
+        4 => "serve.phase_drift_sgs",
+        _ => "serve.phase_drift_particles",
+    }
+}
+
+fn median_of(window: &VecDeque<f64>) -> Option<f64> {
+    if window.is_empty() {
+        return None;
+    }
+    let mut v: Vec<f64> = window.iter().copied().collect();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let mid = v.len() / 2;
+    Some(if v.len() % 2 == 1 { v[mid] } else { 0.5 * (v[mid - 1] + v[mid]) })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// These tests flip the process-global telemetry flag and POP
+    /// table; serialize them against each other.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn steady_phases_never_warn_and_drift_warns_once_over_factor() {
+        let _g = guard();
+        cfpd_telemetry::set_enabled(true);
+        cfpd_telemetry::pop::reset();
+        let mut wd = Watchdog::new(2.0);
+
+        // Five steady cells: 10 ms of solver1 per step.
+        let mut cum = 0.0;
+        for _ in 0..5 {
+            cum += 0.02;
+            cfpd_telemetry::pop::phase(0, PopPhase::Solver1, cum - 0.02, cum);
+            assert!(wd.observe_cell(2, 0.05).is_empty());
+        }
+        // A 5× regression on the same phase.
+        cfpd_telemetry::pop::phase(0, PopPhase::Solver1, cum, cum + 0.1);
+        let warnings = wd.observe_cell(2, 0.3);
+        assert_eq!(warnings.len(), 1);
+        assert_eq!(warnings[0].phase, "solver1");
+        assert!(warnings[0].drift > 2.0, "drift {}", warnings[0].drift);
+        cfpd_telemetry::pop::reset();
+        cfpd_telemetry::set_enabled(false);
+    }
+
+    #[test]
+    fn step_seconds_is_the_median_of_observed_rates() {
+        let _g = guard();
+        let mut wd = Watchdog::new(3.0);
+        assert_eq!(wd.step_seconds(), None);
+        for (steps, wall) in [(2u64, 0.2), (2, 0.4), (2, 0.6)] {
+            wd.observe_cell(steps, wall);
+        }
+        assert!((wd.step_seconds().unwrap() - 0.2).abs() < 1e-12);
+    }
+}

@@ -48,19 +48,39 @@ const POLL_SLICE: Duration = Duration::from_millis(20);
 /// per class, not per raw tag, so the metric name set stays bounded;
 /// barrier waits are recognised by [`BlockKind`] (the dissemination
 /// rounds mangle the reserved tag), collectives by their reserved tag.
-fn record_wait(kind: BlockKind, tag: u64, ns: u64) {
+fn record_wait(rank: usize, kind: BlockKind, tag: u64, ns: u64) {
     use cfpd_telemetry::observe;
+    // Flight-recorder op codes: 1 barrier, 2 allreduce, 3 bcast,
+    // 4 gather, 5 split, 0 user point-to-point.
+    let op;
     if kind == BlockKind::Barrier {
         observe!("mpi.wait_ns.barrier", ns);
-        return;
+        op = 1;
+    } else {
+        match u64::MAX.wrapping_sub(tag) {
+            2 => {
+                observe!("mpi.wait_ns.allreduce", ns);
+                op = 2;
+            }
+            3 => {
+                observe!("mpi.wait_ns.bcast", ns);
+                op = 3;
+            }
+            4 => {
+                observe!("mpi.wait_ns.gather", ns);
+                op = 4;
+            }
+            5 => {
+                observe!("mpi.wait_ns.split", ns);
+                op = 5;
+            }
+            _ => {
+                observe!("mpi.wait_ns.user", ns);
+                op = 0;
+            }
+        }
     }
-    match u64::MAX.wrapping_sub(tag) {
-        2 => observe!("mpi.wait_ns.allreduce", ns),
-        3 => observe!("mpi.wait_ns.bcast", ns),
-        4 => observe!("mpi.wait_ns.gather", ns),
-        5 => observe!("mpi.wait_ns.split", ns),
-        _ => observe!("mpi.wait_ns.user", ns),
-    }
+    cfpd_flight::record(cfpd_flight::EventKind::CommWait, rank as u32, op, ns, 0);
 }
 
 /// Panic payload of a fail-silent rank crash: the rank's thread unwinds
@@ -407,7 +427,7 @@ impl Comm {
                     if cfpd_telemetry::enabled() {
                         let ns = u64::try_from(start.elapsed().as_nanos())
                             .unwrap_or(u64::MAX);
-                        record_wait(kind, tag, ns);
+                        record_wait(self.global_rank, kind, tag, ns);
                     }
                 }
                 return Ok(*msg.payload.downcast::<T>().unwrap_or_else(|_| {

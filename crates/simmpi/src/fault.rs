@@ -270,6 +270,7 @@ impl ChaosHooks {
     fn record(&self, rank: usize, kind: FaultEventKind) {
         if kind != FaultEventKind::Timeout {
             cfpd_telemetry::count!("mpi.faults_injected");
+            cfpd_flight::record(cfpd_flight::EventKind::Fault, rank as u32, 0, 0, 0);
         }
         let t = self.epoch.elapsed().as_secs_f64();
         self.log.lock().push(FaultEvent { t, rank, kind });

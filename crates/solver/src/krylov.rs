@@ -95,6 +95,7 @@ pub fn cg_with_history(
             return SolveStats { iterations: it, residual: res, converged: true };
         }
         cfpd_telemetry::count!("solver.cg_iterations");
+        cfpd_flight::record(cfpd_flight::EventKind::SolverIter, 0, 1, it as u64, res.to_bits());
         a.spmv(&p, &mut ap);
         let pap = dot(&p, &ap);
         if pap.abs() < 1e-300 {
@@ -151,6 +152,7 @@ pub fn bicgstab<A: LinearOperator + ?Sized>(
             return SolveStats { iterations: it, residual: res, converged: true };
         }
         cfpd_telemetry::count!("solver.bicgstab_iterations");
+        cfpd_flight::record(cfpd_flight::EventKind::SolverIter, 0, 2, it as u64, res.to_bits());
         let rho_new = dot(&r0, &r);
         if rho_new.abs() < 1e-300 {
             return SolveStats { iterations: it, residual: res, converged: false };

@@ -57,7 +57,9 @@ impl PopPhase {
         }
     }
 
-    fn index(self) -> usize {
+    /// Stable index into [`PopPhase::ALL`] (also the flight recorder's
+    /// phase code).
+    pub fn index(self) -> usize {
         match self {
             PopPhase::Mpi => 0,
             PopPhase::Assembly => 1,

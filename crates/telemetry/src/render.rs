@@ -217,11 +217,32 @@ impl TelemetrySnapshot {
             }
             let _ = writeln!(w, "# TYPE cfpd_pop_phase_seconds gauge");
             for (phase, secs) in &pop.per_phase {
-                let _ = writeln!(w, "cfpd_pop_phase_seconds{{phase=\"{phase}\"}} {secs}");
+                let _ = writeln!(
+                    w,
+                    "cfpd_pop_phase_seconds{{phase=\"{}\"}} {secs}",
+                    escape_label_value(phase)
+                );
             }
         }
         out
     }
+}
+
+/// Escape a Prometheus label value per the text exposition format:
+/// backslash, double quote and newline become `\\`, `\"` and `\n`.
+/// Applied to every label value the renderer emits, so hostile phase
+/// or label names cannot break the document structure.
+pub fn escape_label_value(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 #[cfg(test)]

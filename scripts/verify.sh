@@ -41,6 +41,15 @@
 #     tiny campaign over HTTP, the served result is byte-identical to
 #     the direct `campaign run --json` output, `/metrics` passes the
 #     strict Prometheus lint, and `serve drain` checkpoints and exits 0,
+#   * an observability smoke: the goldens and the tiny campaign stay
+#     byte-identical with the flight recorder on (CFPD_FLIGHT=1 —
+#     recording is timing-only by contract), `cfpd flight dump |
+#     analyze` round-trips through the digest guard, `cfpd report
+#     --baseline` against its own --json capture reports zero
+#     regressions, a deadline-killed daemon job leaves a
+#     digest-valid flight dump next to its WAL that `flight analyze`
+#     accepts, and the flight recorder's per-record cost in the quick
+#     overhead bench stays within the 100 ns budget,
 #   * a workspace-wide warning gate: every crate and every target must
 #     compile without a single compiler warning.
 set -euo pipefail
@@ -205,6 +214,70 @@ cmp -s "$tracedir/serve-result.json" "$tracedir/tiny-a.json" \
 wait "$serve_pid" || { echo "FAIL: serve daemon did not drain cleanly" >&2; exit 1; }
 grep -q "cfpd-serve drained" "$tracedir/serve.log" \
     || { echo "FAIL: drain did not complete" >&2; exit 1; }
+
+echo "== observability smoke (flight recorder + watchdog + baseline diff) =="
+# Recording is timing-only by contract: both goldens and the campaign
+# document must stay byte-identical with the ring buffer recording.
+CFPD_FLIGHT=1 timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small.golden \
+    || { echo "FAIL: flight recorder perturbed the default golden" >&2; exit 1; }
+CFPD_FLIGHT=1 CFPD_LAYOUT=opt timeout 120 "$cfpd" golden --ranks 2 | diff -q - tests/golden/sync_small_opt.golden \
+    || { echo "FAIL: flight recorder perturbed the opt golden" >&2; exit 1; }
+CFPD_FLIGHT=1 timeout 300 "$cfpd" campaign run examples/campaigns/tiny.campaign --json > "$tracedir/tiny-flight.json"
+cmp -s "$tracedir/tiny-flight.json" "$tracedir/tiny-a.json" \
+    || { echo "FAIL: flight recorder perturbed the campaign document" >&2; exit 1; }
+# The black box round-trips through its own digest guard.
+timeout 300 "$cfpd" flight dump --ranks 2 --out "$tracedir/smoke.flight" >/dev/null 2>&1
+test -s "$tracedir/smoke.flight" || { echo "FAIL: flight dump wrote nothing" >&2; exit 1; }
+timeout 120 "$cfpd" flight analyze "$tracedir/smoke.flight" >/dev/null \
+    || { echo "FAIL: flight analyze rejected a fresh dump" >&2; exit 1; }
+# A report diffed against its own capture must show zero regressions.
+timeout 120 "$cfpd" report --json > "$tracedir/report-base.json"
+timeout 120 "$cfpd" report --baseline "$tracedir/report-base.json" >/dev/null \
+    || { echo "FAIL: report --baseline regressed against its own capture" >&2; exit 1; }
+# A deadline-killed serve job leaves a digest-valid flight dump next to
+# its WAL (stall > deadline makes the kill deterministic).
+flightdir="$tracedir/serve-flight"
+timeout 300 "$cfpd" serve run --addr 127.0.0.1:0 --data "$flightdir" \
+    --deadline 0.3 --fault-stall-first 1 --fault-stall-ms 800 \
+    > "$tracedir/serve-flight.log" 2>&1 &
+flight_pid=$!
+addr=""
+for _ in $(seq 1 200); do
+    addr=$(sed -n 's/^cfpd-serve listening on //p' "$tracedir/serve-flight.log")
+    [ -n "$addr" ] && break
+    kill -0 "$flight_pid" 2>/dev/null || { cat "$tracedir/serve-flight.log"; echo "FAIL: flight-smoke daemon died on startup" >&2; exit 1; }
+    sleep 0.05
+done
+[ -n "$addr" ] || { echo "FAIL: flight-smoke daemon never reported its address" >&2; exit 1; }
+"$cfpd" serve submit examples/campaigns/tiny.campaign --addr "$addr" >/dev/null
+failed_seen=""
+for _ in $(seq 1 200); do
+    if "$cfpd" serve status 1 --addr "$addr" | grep -q '"state":"failed"'; then
+        failed_seen=1; break
+    fi
+    sleep 0.1
+done
+[ -n "$failed_seen" ] || { echo "FAIL: deadline kill never fired" >&2; exit 1; }
+for _ in $(seq 1 100); do
+    test -s "$flightdir/job-1.flight" && break
+    sleep 0.05
+done
+test -s "$flightdir/job-1.flight" \
+    || { echo "FAIL: deadline-killed job left no flight dump" >&2; exit 1; }
+timeout 120 "$cfpd" flight analyze "$flightdir/job-1.flight" >/dev/null \
+    || { echo "FAIL: the post-mortem flight dump did not digest-verify" >&2; exit 1; }
+kill "$flight_pid" 2>/dev/null || true
+wait "$flight_pid" 2>/dev/null || true
+# The recorder's per-record cost must stay within the pinned budget.
+python3 - <<'PYEOF' || { echo "FAIL: flight_record exceeded the 100 ns/record budget" >&2; exit 1; }
+import json, sys
+doc = json.load(open("results/BENCH_telemetry_overhead_quick.json"))
+rows = {r["name"]: r["median_ns"] for r in doc["rows"]}
+if "flight_record" not in rows:
+    sys.exit("overhead bench has no flight_record row")
+if rows["flight_record"] > 100.0:
+    sys.exit(f"flight_record {rows['flight_record']} ns/record > 100 ns budget")
+PYEOF
 
 echo "== workspace warning gate =="
 find crates -name '*.rs' -path '*/src/*' -exec touch {} +

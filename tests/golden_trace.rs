@@ -58,6 +58,26 @@ fn trace_matches_checked_in_golden() {
     assert_matches_golden(&actual, &golden_path());
 }
 
+/// The flight recorder is timing-only by contract: with the ring
+/// buffer recording every phase transition and solver heartbeat, both
+/// goldens must still match byte-for-byte. (Enabling is safe under
+/// parallel tests — recording never feeds back into physics.)
+#[test]
+fn goldens_are_byte_identical_with_flight_recorder_on() {
+    cfpd_flight::set_enabled(true);
+    let actual = golden_trace(&golden_config(), GOLDEN_RANKS);
+    assert_matches_golden(&actual, &golden_path());
+    let mut cfg = golden_config();
+    cfg.layout = LayoutPlan::optimized();
+    let actual = golden_trace(&cfg, GOLDEN_RANKS);
+    assert_matches_golden(&actual, &opt_golden_path());
+    assert!(
+        !cfpd_flight::events().is_empty(),
+        "the recorder must actually have captured the run it observed"
+    );
+    cfpd_flight::set_enabled(false);
+}
+
 /// The locality-optimized path (RCM + batched assembly + fused CG) is
 /// deterministic too and pinned by its own golden file — the default
 /// golden above proves the optimization is invisible when disabled.
